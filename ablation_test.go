@@ -1,0 +1,229 @@
+package main
+
+// Ablation benchmarks for the design choices DESIGN.md §4 calls out. Each
+// toggles exactly one mechanism and reports the affected metric as a
+// custom benchmark unit, so `go test -bench Ablation` prints the
+// trade-off table directly.
+
+import (
+	"fmt"
+	"testing"
+
+	"flexio/internal/apps/gts"
+	"flexio/internal/apps/s3d"
+	"flexio/internal/core"
+	"flexio/internal/coupled"
+	"flexio/internal/graph"
+	"flexio/internal/machine"
+	"flexio/internal/placement"
+)
+
+// s3dStagingFixture builds a 1024-core S3D staging run on Smoky.
+func s3dStagingFixture(b *testing.B) (*placement.Placement, coupled.AppModel) {
+	b.Helper()
+	m := machine.Smoky(80)
+	app := s3d.Model()
+	const nSim = 1024
+	nAna := nSim / s3d.WritersPerReader
+	g := graph.New(nSim + nAna)
+	for i := 0; i < nSim; i++ {
+		g.AddEdge(i, nSim+i*nAna/nSim, s3d.OutputBytesPerProc)
+		g.AddEdge(i, (i+1)%nSim, 50e6)
+		if i+128 < nSim {
+			g.AddEdge(i, i+128, 50e6)
+		}
+	}
+	for i := 0; i < nAna-1; i++ {
+		g.AddEdge(nSim+i, nSim+i+1, 30e6)
+	}
+	spec := &placement.Spec{Machine: m, NSim: nSim, NAna: nAna, SimThreads: 1, Comm: g}
+	p, err := placement.Holistic(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p, app
+}
+
+// BenchmarkAblationHandshakeCaching sweeps the three caching levels
+// (DESIGN §4.2): visible per-step movement time, S3D at 1K cores.
+func BenchmarkAblationHandshakeCaching(b *testing.B) {
+	p, app := s3dStagingFixture(b)
+	for _, c := range []core.CachingLevel{core.NoCaching, core.CachingLocal, core.CachingAll} {
+		c := c
+		b.Run(c.String(), func(b *testing.B) {
+			var vis float64
+			for i := 0; i < b.N; i++ {
+				r, err := coupled.Run(coupled.Config{
+					App: app, Place: p, Steps: 50, Async: true,
+					Caching: c, WritersPerReader: s3d.WritersPerReader,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				vis = r.Phases.SimVisIO
+			}
+			b.ReportMetric(vis*1000, "visibleIO_ms/step")
+		})
+	}
+}
+
+// BenchmarkAblationBatching toggles variable batching (DESIGN §4.3).
+func BenchmarkAblationBatching(b *testing.B) {
+	p, app := s3dStagingFixture(b)
+	for _, batch := range []bool{false, true} {
+		batch := batch
+		b.Run(fmt.Sprintf("batching=%v", batch), func(b *testing.B) {
+			var vis float64
+			for i := 0; i < b.N; i++ {
+				r, err := coupled.Run(coupled.Config{
+					App: app, Place: p, Steps: 50, Async: true,
+					Caching: core.NoCaching, Batching: batch,
+					WritersPerReader: s3d.WritersPerReader,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				vis = r.Phases.SimVisIO
+			}
+			b.ReportMetric(vis*1000, "visibleIO_ms/step")
+		})
+	}
+}
+
+// BenchmarkAblationSyncAsync toggles write synchrony (DESIGN §4.4): S3D
+// staging, where the paper's tuning sets asynchronous writes to take the
+// (handshake-heavy) movement off the simulation's critical path.
+func BenchmarkAblationSyncAsync(b *testing.B) {
+	p, app := s3dStagingFixture(b)
+	for _, async := range []bool{false, true} {
+		async := async
+		b.Run(fmt.Sprintf("async=%v", async), func(b *testing.B) {
+			var tet, vis float64
+			for i := 0; i < b.N; i++ {
+				r, err := coupled.Run(coupled.Config{
+					App: app, Place: p, Steps: 50, Async: async,
+					Caching: core.NoCaching, PacingFraction: 0.5,
+					WritersPerReader: s3d.WritersPerReader,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				tet = r.TotalTime
+				vis = r.Phases.SimVisIO
+			}
+			b.ReportMetric(tet, "TET_s")
+			b.ReportMetric(vis*1000, "visibleIO_ms/step")
+		})
+	}
+}
+
+// BenchmarkAblationGetPacing sweeps the Get-scheduler pacing fraction
+// (DESIGN §4.5): GTS staging slowdown vs. movement time.
+func BenchmarkAblationGetPacing(b *testing.B) {
+	m := machine.Smoky(40)
+	app := gts.Model()
+	const nSim = 64
+	g := graph.New(nSim * 2)
+	for i := 0; i < nSim; i++ {
+		g.AddEdge(i, nSim+i, gts.OutputBytesPerProc)
+	}
+	spec := &placement.Spec{Machine: m, NSim: nSim, NAna: nSim, SimThreads: 4, Comm: g}
+	p, err := placement.StagingPlacement(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, pacing := range []float64{1.0, 0.5, 0.25} {
+		pacing := pacing
+		b.Run(fmt.Sprintf("pacing=%.2f", pacing), func(b *testing.B) {
+			var slow, move float64
+			for i := 0; i < b.N; i++ {
+				r, err := coupled.Run(coupled.Config{
+					App: app, Place: p, Steps: 50, Async: true, PacingFraction: pacing,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				slow = (r.SimSlowdown - 1) * 100
+				move = r.MoveTime
+			}
+			b.ReportMetric(slow, "simSlowdown_%")
+			b.ReportMetric(move, "moveTime_s")
+		})
+	}
+}
+
+// BenchmarkAblationNUMAPinning toggles producer-local buffer pinning
+// (DESIGN §4.6): helper-core GTS movement time with and without pinning.
+func BenchmarkAblationNUMAPinning(b *testing.B) {
+	m := machine.Smoky(16)
+	app := gts.Model()
+	app.NUMAStraddlePenalty = 0.07
+	const nSim = 32
+	g := graph.New(nSim * 2)
+	for i := 0; i < nSim; i++ {
+		g.AddEdge(i, nSim+i, gts.OutputBytesPerProc)
+		g.AddEdge(i, (i+1)%nSim, 20e6)
+	}
+	spec := &placement.Spec{Machine: m, NSim: nSim, NAna: nSim, SimThreads: 3, Comm: g}
+	// Holistic's linear layout leaves some producer/consumer pairs in
+	// different NUMA domains, which is exactly where buffer pinning acts.
+	p, err := placement.Holistic(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, pinned := range []bool{false, true} {
+		pinned := pinned
+		b.Run(fmt.Sprintf("pinned=%v", pinned), func(b *testing.B) {
+			pc := *p
+			pc.NUMAPinnedBuffers = pinned
+			var move float64
+			for i := 0; i < b.N; i++ {
+				r, err := coupled.Run(coupled.Config{App: app, Place: &pc, Steps: 50})
+				if err != nil {
+					b.Fatal(err)
+				}
+				move = r.MoveTime * 1000
+			}
+			b.ReportMetric(move, "moveTime_ms/step")
+		})
+	}
+}
+
+// BenchmarkAblationMapperDepth compares the 2-level holistic tree against
+// the full cache-hierarchy tree (DESIGN §4.7) on the GTS instance.
+func BenchmarkAblationMapperDepth(b *testing.B) {
+	m := machine.Smoky(16)
+	app := gts.Model()
+	app.NUMAStraddlePenalty = 0.07
+	const nSim = 32
+	g := graph.New(nSim * 2)
+	for i := 0; i < nSim; i++ {
+		g.AddEdge(i, nSim+i, gts.OutputBytesPerProc)
+		g.AddEdge(i, (i+1)%nSim, 20e6)
+	}
+	spec := &placement.Spec{Machine: m, NSim: nSim, NAna: nSim, SimThreads: 3, Comm: g}
+	for _, depth := range []string{"two-level", "cache-topology"} {
+		depth := depth
+		b.Run(depth, func(b *testing.B) {
+			var tet float64
+			for i := 0; i < b.N; i++ {
+				var p *placement.Placement
+				var err error
+				if depth == "two-level" {
+					p, err = placement.Holistic(spec)
+				} else {
+					p, err = placement.TopologyAware(spec)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				r, err := coupled.Run(coupled.Config{App: app, Place: p, Steps: 50})
+				if err != nil {
+					b.Fatal(err)
+				}
+				tet = r.TotalTime
+			}
+			b.ReportMetric(tet, "TET_s")
+		})
+	}
+}

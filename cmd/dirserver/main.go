@@ -1,0 +1,36 @@
+// Command dirserver runs FlexIO's directory server as a standalone TCP
+// service (Section II.C.1): simulations register stream names with their
+// coordinator's contact information; analytics jobs look them up. The
+// server participates only in discovery, never in data movement.
+//
+//	dirserver -addr :7878
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"flexio/internal/directory"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7878", "listen address")
+	flag.Parse()
+
+	srv, err := directory.Serve(*addr, directory.NewMem())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dirserver:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("flexio directory server listening on %s\n", srv.Addr())
+	fmt.Println("protocol: REG <stream> <contact> | GET <stream> | WAIT <stream> <millis> | DEL <stream>")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	srv.Close() //nolint:errcheck
+}

@@ -1,0 +1,50 @@
+// Command flexbench regenerates the FlexIO paper's evaluation artifacts:
+// every figure and table from Section IV plus the Figure 4 transport
+// microbenchmark. Run a single experiment with -exp or everything with
+// -exp all.
+//
+//	flexbench -list
+//	flexbench -exp fig6a
+//	flexbench -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flexio/internal/experiment"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiment.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *exp == "all" {
+		if err := experiment.RunAll(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "flexbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	driver, ok := experiment.Registry[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "flexbench: unknown experiment %q; known: %v\n", *exp, experiment.IDs())
+		os.Exit(2)
+	}
+	fig, err := driver()
+	if fig != nil {
+		fig.Fprint(os.Stdout) //nolint:errcheck
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flexbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,106 @@
+// Placement tuning: Section III end to end. Builds the GTS coupled-run
+// instance, applies all three placement algorithms plus the inline and
+// staging baselines, evaluates each with the coupled-execution simulator,
+// and prints the paper's three metrics — Total Execution Time, CPU hours,
+// and inter-node Data Movement Volume — side by side. This is the
+// decision support a FlexIO user runs before submitting a production job.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"flexio/internal/apps/gts"
+	"flexio/internal/coupled"
+	"flexio/internal/graph"
+	"flexio/internal/machine"
+	"flexio/internal/placement"
+)
+
+func main() {
+	m := machine.Smoky(40)
+	app := gts.Model()
+	app.NUMAStraddlePenalty = 0.07
+	const nSim, steps = 64, 50
+
+	build := func(nAna, threads int) *placement.Spec {
+		g := graph.New(nSim + nAna)
+		for i := 0; i < nSim; i++ {
+			if nAna > 0 {
+				g.AddEdge(i, nSim+i*nAna/nSim, gts.OutputBytesPerProc)
+			}
+			g.AddEdge(i, (i+1)%nSim, 20e6)
+		}
+		for i := 0; i < nAna-1; i++ {
+			g.AddEdge(nSim+i, nSim+i+1, 2e6)
+		}
+		return &placement.Spec{Machine: m, NSim: nSim, NAna: nAna, SimThreads: threads, Comm: g}
+	}
+
+	// Resource allocation (holistic policy): match the analytics
+	// consumption rate to the simulation's generation rate.
+	interval := app.SimComputePerInterval(4)
+	totalBytes := gts.OutputBytesPerProc * float64(nSim)
+	nAnaStaging := placement.SyncAllocation(func(p int) float64 {
+		return app.AnaComputePerStep(p, totalBytes)
+	}, interval, nSim)
+	fmt.Printf("resource allocation: %d analytics processes for %d GTS processes (sync rate matching)\n\n",
+		nAnaStaging, nSim)
+
+	type entry struct {
+		name string
+		p    *placement.Placement
+		cfg  coupled.Config
+	}
+	var entries []entry
+
+	inl, err := placement.InlinePlacement(build(0, 4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	entries = append(entries, entry{"inline (4 threads)", inl, coupled.Config{}})
+
+	hcSpec := build(nSim, 3)
+	inter := graph.New(nSim * 2)
+	for i := 0; i < nSim; i++ {
+		inter.AddEdge(i, nSim+i, gts.OutputBytesPerProc)
+	}
+	if da, err := placement.DataAware(hcSpec, inter); err == nil {
+		entries = append(entries, entry{"helper-core (data-aware)", da, coupled.Config{}})
+	}
+	if ho, err := placement.Holistic(hcSpec); err == nil {
+		entries = append(entries, entry{"helper-core (holistic)", ho, coupled.Config{}})
+	}
+	if ta, err := placement.TopologyAware(hcSpec); err == nil {
+		entries = append(entries, entry{"helper-core (topology-aware)", ta, coupled.Config{}})
+	}
+	if st, err := placement.StagingPlacement(build(nAnaStaging, 4)); err == nil {
+		entries = append(entries, entry{"staging (async, paced gets)", st,
+			coupled.Config{Async: true, PacingFraction: 0.5}})
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "placement\tkind\tTET (s)\tvs inline\tCPU-hours\tinter-node MB/step\tsim slowdown")
+	var inlineTET float64
+	for _, e := range entries {
+		cfg := e.cfg
+		cfg.App = app
+		cfg.Place = e.p
+		cfg.Steps = steps
+		r, err := coupled.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if inlineTET == 0 {
+			inlineTET = r.TotalTime
+		}
+		fmt.Fprintf(tw, "%s\t%v\t%.1f\t%+.1f%%\t%.2f\t%.0f\t%.3f\n",
+			e.name, r.Kind, r.TotalTime, (r.TotalTime/inlineTET-1)*100,
+			r.CPUHours, r.InterNodeBytes/1e6, r.SimSlowdown)
+	}
+	tw.Flush() //nolint:errcheck
+	lb := coupled.SoloTime(app, 4, steps)
+	fmt.Printf("\nlower bound (GTS solo, 4 threads, no I/O): %.1f s\n", lb)
+}

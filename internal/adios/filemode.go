@@ -1,0 +1,465 @@
+package adios
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"flexio/internal/core"
+	"flexio/internal/ndarray"
+)
+
+// File mode stores each stream as a directory <fsroot>/<stream>.bp/
+// containing one self-describing container per timestep
+// (step-%06d.bp) and a ".done" end-of-stream marker. The container is a
+// simplified ADIOS-BP: magic, record count, then one record per written
+// variable carrying full metadata — which is what lets a reader
+// re-assemble arbitrary selections offline, exactly as in stream mode.
+//
+// Layout per record:
+//
+//	uvarint nameLen | name | u8 kind | uvarint elemSize | uvarint writer
+//	uvarint ndims | ndims varint globalShape
+//	ndims varint lo | ndims varint hi          (box; absent for ndims==0)
+//	uvarint dataLen | data
+const bpMagic = "FXBP1\n"
+
+var errBadBP = errors.New("adios: corrupt BP container")
+
+type fileRecord struct {
+	meta   core.VarMeta
+	writer int
+	data   []byte
+}
+
+// --- writer side ---
+
+type fileWriterGroup struct {
+	dir    string
+	nRanks int
+
+	mu      sync.Mutex
+	curStep map[int64]*fileStep
+	closes  int
+	closed  bool
+}
+
+type fileStep struct {
+	step     int64
+	records  []fileRecord
+	deposits int
+	done     chan struct{}
+	err      error
+}
+
+func newFileWriterGroup(root, stream string, nRanks int) (*fileWriterGroup, error) {
+	dir := filepath.Join(root, stream+".bp")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &fileWriterGroup{dir: dir, nRanks: nRanks, curStep: make(map[int64]*fileStep)}, nil
+}
+
+type fileWriter struct {
+	g    *fileWriterGroup
+	rank int
+	cur  *fileStep
+}
+
+func (w *fileWriter) BeginStep(step int64) error {
+	g := w.g
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if w.cur != nil {
+		return fmt.Errorf("adios: rank %d already in a step", w.rank)
+	}
+	st, ok := g.curStep[step]
+	if !ok {
+		st = &fileStep{step: step, done: make(chan struct{})}
+		g.curStep[step] = st
+	}
+	w.cur = st
+	return nil
+}
+
+func (w *fileWriter) Write(meta core.VarMeta, data []byte) error {
+	if err := meta.Validate(); err != nil {
+		return err
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	g := w.g
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if w.cur == nil {
+		return fmt.Errorf("adios: rank %d Write before BeginStep", w.rank)
+	}
+	w.cur.records = append(w.cur.records, fileRecord{meta: meta, writer: w.rank, data: cp})
+	return nil
+}
+
+func (w *fileWriter) EndStep() error {
+	g := w.g
+	g.mu.Lock()
+	st := w.cur
+	if st == nil {
+		g.mu.Unlock()
+		return fmt.Errorf("adios: rank %d EndStep before BeginStep", w.rank)
+	}
+	w.cur = nil
+	st.deposits++
+	last := st.deposits == g.nRanks
+	if last {
+		delete(g.curStep, st.step)
+	}
+	g.mu.Unlock()
+	if !last {
+		<-st.done
+		return st.err
+	}
+	st.err = g.writeStepFile(st)
+	close(st.done)
+	return st.err
+}
+
+func (g *fileWriterGroup) writeStepFile(st *fileStep) error {
+	// Deterministic record order: by writer rank, then name.
+	sort.SliceStable(st.records, func(i, j int) bool {
+		if st.records[i].writer != st.records[j].writer {
+			return st.records[i].writer < st.records[j].writer
+		}
+		return st.records[i].meta.Name < st.records[j].meta.Name
+	})
+	buf := make([]byte, 0, 1<<16)
+	buf = append(buf, bpMagic...)
+	buf = binary.AppendUvarint(buf, uint64(len(st.records)))
+	for _, rec := range st.records {
+		buf = binary.AppendUvarint(buf, uint64(len(rec.meta.Name)))
+		buf = append(buf, rec.meta.Name...)
+		buf = append(buf, byte(rec.meta.Kind))
+		buf = binary.AppendUvarint(buf, uint64(rec.meta.ElemSize))
+		buf = binary.AppendUvarint(buf, uint64(rec.writer))
+		nd := len(rec.meta.GlobalShape)
+		buf = binary.AppendUvarint(buf, uint64(nd))
+		for _, s := range rec.meta.GlobalShape {
+			buf = binary.AppendVarint(buf, s)
+		}
+		for d := 0; d < nd; d++ {
+			buf = binary.AppendVarint(buf, rec.meta.Box.Lo[d])
+		}
+		for d := 0; d < nd; d++ {
+			buf = binary.AppendVarint(buf, rec.meta.Box.Hi[d])
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(rec.data)))
+		buf = append(buf, rec.data...)
+	}
+	final := filepath.Join(g.dir, fmt.Sprintf("step-%06d.bp", st.step))
+	tmp := final + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final) // atomic publish: readers never see partial files
+}
+
+// Close is collective: the End-of-Stream marker lands once every rank
+// has closed.
+func (w *fileWriter) Close() error {
+	g := w.g
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return nil
+	}
+	g.closes++
+	if g.closes < g.nRanks {
+		return nil
+	}
+	g.closed = true
+	return os.WriteFile(filepath.Join(g.dir, ".done"), nil, 0o644)
+}
+
+// --- reader side ---
+
+type fileReaderGroup struct {
+	dir    string
+	nRanks int
+
+	mu    sync.Mutex
+	cache map[int64][]fileRecord // parsed steps, shared across ranks
+}
+
+func newFileReaderGroup(root, stream string, nRanks int) *fileReaderGroup {
+	return &fileReaderGroup{
+		dir:    filepath.Join(root, stream+".bp"),
+		nRanks: nRanks,
+		cache:  make(map[int64][]fileRecord),
+	}
+}
+
+// loadStep parses (or serves from cache) a step container; ok=false when
+// the file does not exist yet.
+func (g *fileReaderGroup) loadStep(step int64) ([]fileRecord, bool, error) {
+	g.mu.Lock()
+	if recs, ok := g.cache[step]; ok {
+		g.mu.Unlock()
+		return recs, true, nil
+	}
+	g.mu.Unlock()
+	path := filepath.Join(g.dir, fmt.Sprintf("step-%06d.bp", step))
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	recs, err := parseBP(raw)
+	if err != nil {
+		return nil, false, err
+	}
+	g.mu.Lock()
+	g.cache[step] = recs
+	g.mu.Unlock()
+	return recs, true, nil
+}
+
+func (g *fileReaderGroup) eos() bool {
+	_, err := os.Stat(filepath.Join(g.dir, ".done"))
+	return err == nil
+}
+
+func parseBP(raw []byte) ([]fileRecord, error) {
+	if len(raw) < len(bpMagic) || string(raw[:len(bpMagic)]) != bpMagic {
+		return nil, errBadBP
+	}
+	pos := len(bpMagic)
+	count, adv := binary.Uvarint(raw[pos:])
+	if adv <= 0 {
+		return nil, errBadBP
+	}
+	pos += adv
+	uv := func() (uint64, error) {
+		v, a := binary.Uvarint(raw[pos:])
+		if a <= 0 {
+			return 0, errBadBP
+		}
+		pos += a
+		return v, nil
+	}
+	sv := func() (int64, error) {
+		v, a := binary.Varint(raw[pos:])
+		if a <= 0 {
+			return 0, errBadBP
+		}
+		pos += a
+		return v, nil
+	}
+	recs := make([]fileRecord, 0, count)
+	for i := uint64(0); i < count; i++ {
+		nameLen, err := uv()
+		if err != nil || pos+int(nameLen) > len(raw) {
+			return nil, errBadBP
+		}
+		name := string(raw[pos : pos+int(nameLen)])
+		pos += int(nameLen)
+		if pos >= len(raw) {
+			return nil, errBadBP
+		}
+		kind := core.VarKind(raw[pos])
+		pos++
+		elemSize, err := uv()
+		if err != nil {
+			return nil, err
+		}
+		writer, err := uv()
+		if err != nil {
+			return nil, err
+		}
+		nd, err := uv()
+		if err != nil || nd > 16 {
+			return nil, errBadBP
+		}
+		meta := core.VarMeta{Name: name, Kind: kind, ElemSize: int(elemSize)}
+		if nd > 0 {
+			meta.GlobalShape = make([]int64, nd)
+			for d := range meta.GlobalShape {
+				if meta.GlobalShape[d], err = sv(); err != nil {
+					return nil, err
+				}
+			}
+			lo := make([]int64, nd)
+			hi := make([]int64, nd)
+			for d := range lo {
+				if lo[d], err = sv(); err != nil {
+					return nil, err
+				}
+			}
+			for d := range hi {
+				if hi[d], err = sv(); err != nil {
+					return nil, err
+				}
+			}
+			meta.Box = ndarray.Box{Lo: lo, Hi: hi}
+		}
+		dataLen, err := uv()
+		if err != nil || pos+int(dataLen) > len(raw) {
+			return nil, errBadBP
+		}
+		data := make([]byte, dataLen)
+		copy(data, raw[pos:pos+int(dataLen)])
+		pos += int(dataLen)
+		recs = append(recs, fileRecord{meta: meta, writer: int(writer), data: data})
+	}
+	return recs, nil
+}
+
+type fileReaderRank struct {
+	g        *fileReaderGroup
+	rank     int
+	arraySel map[string]ndarray.Box
+	pgSel    map[int]bool
+	cur      []fileRecord
+	curStep  int64
+	nextStep int64
+	inStep   bool
+	poll     time.Duration
+}
+
+func newFileReader(g *fileReaderGroup, rank int) *fileReaderRank {
+	return &fileReaderRank{
+		g:        g,
+		rank:     rank,
+		arraySel: make(map[string]ndarray.Box),
+		pgSel:    make(map[int]bool),
+		poll:     500 * time.Microsecond,
+	}
+}
+
+func (r *fileReaderRank) SelectArray(name string, box ndarray.Box) error {
+	if r.inStep {
+		return fmt.Errorf("adios: selection change inside a step")
+	}
+	r.arraySel[name] = box
+	return nil
+}
+
+func (r *fileReaderRank) SelectProcessGroups(writers []int) error {
+	if r.inStep {
+		return fmt.Errorf("adios: selection change inside a step")
+	}
+	for _, w := range writers {
+		r.pgSel[w] = true
+	}
+	return nil
+}
+
+func (r *fileReaderRank) BeginStep() (int64, bool) {
+	for {
+		recs, ok, err := r.g.loadStep(r.nextStep)
+		if err != nil {
+			return 0, false
+		}
+		if ok {
+			r.cur = recs
+			r.curStep = r.nextStep
+			r.nextStep++
+			r.inStep = true
+			return r.curStep, true
+		}
+		if r.g.eos() {
+			// Re-check once: the step file may have landed before .done.
+			if recs, ok, _ := r.g.loadStep(r.nextStep); ok {
+				r.cur = recs
+				r.curStep = r.nextStep
+				r.nextStep++
+				r.inStep = true
+				return r.curStep, true
+			}
+			return 0, false
+		}
+		time.Sleep(r.poll)
+	}
+}
+
+func (r *fileReaderRank) ReadArray(name string) ([]byte, ndarray.Box, error) {
+	if !r.inStep {
+		return nil, ndarray.Box{}, fmt.Errorf("adios: ReadArray outside a step")
+	}
+	sel, ok := r.arraySel[name]
+	if !ok {
+		return nil, ndarray.Box{}, fmt.Errorf("adios: rank %d did not select %q", r.rank, name)
+	}
+	var elemSize int
+	for _, rec := range r.cur {
+		if rec.meta.Name == name && rec.meta.Kind == core.GlobalArrayVar {
+			elemSize = rec.meta.ElemSize
+		}
+	}
+	if elemSize == 0 {
+		return nil, sel, fmt.Errorf("adios: no array %q in step %d", name, r.curStep)
+	}
+	out := make([]byte, sel.NumElements()*int64(elemSize))
+	found := false
+	for _, rec := range r.cur {
+		if rec.meta.Name != name || rec.meta.Kind != core.GlobalArrayVar {
+			continue
+		}
+		ov, has := rec.meta.Box.Intersect(sel)
+		if !has {
+			continue
+		}
+		packed, err := ndarray.Pack(nil, rec.data, rec.meta.Box, ov, elemSize)
+		if err != nil {
+			return nil, sel, err
+		}
+		if err := ndarray.Unpack(out, packed, sel, ov, elemSize); err != nil {
+			return nil, sel, err
+		}
+		found = true
+	}
+	if !found {
+		return nil, sel, fmt.Errorf("adios: no data overlaps selection %v of %q", sel, name)
+	}
+	return out, sel, nil
+}
+
+func (r *fileReaderRank) ReadScalar(name string) ([]byte, error) {
+	if !r.inStep {
+		return nil, fmt.Errorf("adios: ReadScalar outside a step")
+	}
+	for _, rec := range r.cur {
+		if rec.meta.Name == name && rec.meta.Kind == core.ScalarVar {
+			return rec.data, nil
+		}
+	}
+	return nil, fmt.Errorf("adios: no scalar %q in step %d", name, r.curStep)
+}
+
+func (r *fileReaderRank) ReadProcessGroups(name string) (map[int][]byte, error) {
+	if !r.inStep {
+		return nil, fmt.Errorf("adios: ReadProcessGroups outside a step")
+	}
+	out := make(map[int][]byte)
+	for _, rec := range r.cur {
+		if rec.meta.Name == name && rec.meta.Kind == core.ProcessGroupVar && r.pgSel[rec.writer] {
+			out[rec.writer] = rec.data
+		}
+	}
+	return out, nil
+}
+
+func (r *fileReaderRank) EndStep() error {
+	if !r.inStep {
+		return fmt.Errorf("adios: EndStep outside a step")
+	}
+	r.inStep = false
+	r.cur = nil
+	return nil
+}
+
+func (r *fileReaderRank) Close() error { return nil }

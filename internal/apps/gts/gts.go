@@ -1,0 +1,278 @@
+// Package gts is a proxy for the GTS gyrokinetic fusion simulation and
+// its online analytics pipeline, the first of the two applications in the
+// FlexIO paper's evaluation (Section IV.A). GTS is a particle-in-cell
+// code whose I/O-relevant behaviour is: every two simulation cycles each
+// MPI process emits ~110 MB of particle data — two 2-D arrays (zions and
+// electrons) with seven attributes per particle — which a chain of
+// analytics consumes: particle distribution function, a range query on
+// the velocity attribute selecting ~20% of particles, and 1-D/2-D
+// histograms written out for parallel-coordinates visualization.
+//
+// The package provides both the *real* workload (deterministic particle
+// generation and the full analytics chain, used by examples and
+// integration tests over actual FlexIO streams) and the *model* (timing
+// and volume constants consumed by internal/coupled to regenerate
+// Figures 6-8).
+package gts
+
+import (
+	"fmt"
+	"math"
+
+	"flexio/internal/cachesim"
+	"flexio/internal/coupled"
+)
+
+// Particle attribute indices within a 7-attribute record, following the
+// paper's description: coordinates, velocity components, weight, and ID.
+const (
+	AttrR      = 0 // radial coordinate
+	AttrZ      = 1 // vertical coordinate
+	AttrZeta   = 2 // toroidal angle
+	AttrVPar   = 3 // parallel velocity
+	AttrVPerp  = 4 // perpendicular velocity
+	AttrWeight = 5
+	AttrID     = 6
+
+	NumAttrs = 7
+)
+
+// Species identifies one of the two particle arrays GTS emits.
+type Species int
+
+const (
+	Zion Species = iota
+	Electron
+)
+
+func (s Species) String() string {
+	if s == Zion {
+		return "zion"
+	}
+	return "electron"
+}
+
+// Generate produces one rank's particle array for a step: n particles,
+// each NumAttrs consecutive float64s. Generation is deterministic in
+// (species, rank, step) via a small xorshift PRNG, so writers and
+// verifying readers agree without shared state. Velocities follow a
+// rough Maxwellian (sum of uniforms), positions a torus-ish band —
+// enough structure for the analytics chain to produce meaningful
+// histograms.
+func Generate(sp Species, rank, step, n int) []float64 {
+	out := make([]float64, n*NumAttrs)
+	seed := uint64(sp+1)*0x9E3779B97F4A7C15 + uint64(rank)*0xBF58476D1CE4E5B9 + uint64(step+1)*0x94D049BB133111EB
+	rng := xorshift(seed)
+	for i := 0; i < n; i++ {
+		u1 := rng.next()
+		u2 := rng.next()
+		u3 := rng.next()
+		base := i * NumAttrs
+		out[base+AttrR] = 1.0 + 0.3*u1
+		out[base+AttrZ] = -0.5 + u2
+		out[base+AttrZeta] = 2 * math.Pi * u3
+		// Approximate Maxwellian via the average of 4 uniforms, centred.
+		out[base+AttrVPar] = (rng.next()+rng.next()+rng.next()+rng.next())/2 - 1
+		out[base+AttrVPerp] = math.Abs((rng.next()+rng.next())/2 - 0.5)
+		out[base+AttrWeight] = 0.5 + 0.5*rng.next()
+		out[base+AttrID] = float64(rank)*1e9 + float64(step)*1e6 + float64(i)
+	}
+	return out
+}
+
+// ParticleCount returns the per-step particle count for a rank: the base
+// count modulated a few percent by step, reproducing the particle-motion
+// effect that makes buffer sizes change across timesteps (the paper's
+// motivation for the RDMA registration cache).
+func ParticleCount(base, rank, step int) int {
+	jitter := math.Sin(float64(step)*0.7+float64(rank)) * 0.03
+	n := int(float64(base) * (1 + jitter))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+type xorshift uint64
+
+func (x *xorshift) next() float64 {
+	v := uint64(*x)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = xorshift(v)
+	return float64(v>>11) / float64(1<<53)
+}
+
+// DistributionFunction computes the paper's "calculation of particle
+// distribution function": a weighted 1-D histogram of one attribute over
+// [lo, hi) with the given bin count.
+func DistributionFunction(particles []float64, attr, bins int, lo, hi float64) ([]float64, error) {
+	if attr < 0 || attr >= NumAttrs {
+		return nil, fmt.Errorf("gts: attribute %d out of range", attr)
+	}
+	if bins <= 0 || hi <= lo {
+		return nil, fmt.Errorf("gts: bad histogram spec bins=%d range=[%g,%g)", bins, lo, hi)
+	}
+	h := make([]float64, bins)
+	width := (hi - lo) / float64(bins)
+	for i := 0; i+NumAttrs <= len(particles); i += NumAttrs {
+		v := particles[i+attr]
+		if v < lo || v >= hi {
+			continue
+		}
+		h[int((v-lo)/width)] += particles[i+AttrWeight]
+	}
+	return h, nil
+}
+
+// RangeQuery selects whole particles whose attribute lies in [lo, hi) —
+// the paper's velocity range query whose result is ~20% of the particles
+// for the default v_par in [-0.2, 0.2) band under the Maxwellian above.
+func RangeQuery(particles []float64, attr int, lo, hi float64) ([]float64, error) {
+	if attr < 0 || attr >= NumAttrs {
+		return nil, fmt.Errorf("gts: attribute %d out of range", attr)
+	}
+	out := make([]float64, 0, len(particles)/5)
+	for i := 0; i+NumAttrs <= len(particles); i += NumAttrs {
+		v := particles[i+attr]
+		if v >= lo && v < hi {
+			out = append(out, particles[i:i+NumAttrs]...)
+		}
+	}
+	return out, nil
+}
+
+// DefaultQueryLo and DefaultQueryHi bound the production run's velocity
+// selection (~20% selectivity).
+const (
+	DefaultQueryLo = -0.073
+	DefaultQueryHi = 0.073
+)
+
+// Histogram2D builds the 2-D histogram feeding parallel-coordinates
+// visualization: counts over a (attrX, attrY) grid.
+func Histogram2D(particles []float64, attrX, attrY, binsX, binsY int,
+	loX, hiX, loY, hiY float64) ([]float64, error) {
+	if binsX <= 0 || binsY <= 0 || hiX <= loX || hiY <= loY {
+		return nil, fmt.Errorf("gts: bad 2-D histogram spec")
+	}
+	if attrX < 0 || attrX >= NumAttrs || attrY < 0 || attrY >= NumAttrs {
+		return nil, fmt.Errorf("gts: attribute out of range")
+	}
+	h := make([]float64, binsX*binsY)
+	wx := (hiX - loX) / float64(binsX)
+	wy := (hiY - loY) / float64(binsY)
+	for i := 0; i+NumAttrs <= len(particles); i += NumAttrs {
+		x, y := particles[i+attrX], particles[i+attrY]
+		if x < loX || x >= hiX || y < loY || y >= hiY {
+			continue
+		}
+		h[int((x-loX)/wx)*binsY+int((y-loY)/wy)]++
+	}
+	return h, nil
+}
+
+// AnalyzeStep runs the full per-step analytics chain on one rank's
+// particle payload and returns the artifacts (distribution function over
+// v_par, the query subset's 1-D histogram, and the R-Z 2-D histogram).
+type Analysis struct {
+	DistFn     []float64
+	QueryHist  []float64
+	RZHist     []float64
+	Selected   int // particles passing the range query
+	TotalCount int
+}
+
+// AnalyzeStep executes the GTS analytics chain.
+func AnalyzeStep(particles []float64) (*Analysis, error) {
+	dist, err := DistributionFunction(particles, AttrVPar, 64, -1, 1)
+	if err != nil {
+		return nil, err
+	}
+	sel, err := RangeQuery(particles, AttrVPar, DefaultQueryLo, DefaultQueryHi)
+	if err != nil {
+		return nil, err
+	}
+	qh, err := DistributionFunction(sel, AttrVPerp, 32, 0, 1)
+	if err != nil {
+		return nil, err
+	}
+	rz, err := Histogram2D(sel, AttrR, AttrZ, 32, 32, 1.0, 1.3, -0.5, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	return &Analysis{
+		DistFn:     dist,
+		QueryHist:  qh,
+		RZHist:     rz,
+		Selected:   len(sel) / NumAttrs,
+		TotalCount: len(particles) / NumAttrs,
+	}, nil
+}
+
+// --- Model for the coupled-run simulator (Figures 6-8) ---
+
+// Production-run constants from Section IV.A.
+const (
+	// OutputBytesPerProc: "particle data output size of 110MB per
+	// process", every two simulation cycles.
+	OutputBytesPerProc = 110e6
+	// baseInterval is the two-cycle compute time of one GTS process with
+	// 4 OpenMP threads (the reference configuration on Smoky).
+	baseInterval = 20.0
+	// serialFraction is GTS's Amdahl serial fraction, fitted so that
+	// dropping from 4 to 3 threads slows the simulation by 2.7% ("code
+	// regions in GTS where only the main thread is active").
+	serialFraction = 0.739
+	// InlineFraction: "the inline analytics weighs 23.6% of GTS runtime".
+	InlineFraction = 0.236
+	// analyticsRate is one analytics process's consumption rate,
+	// calibrated from Figure 7: analytics is idle ~67% of the interval
+	// when one helper-core process serves one GTS process (110 MB in
+	// ~6.6 s of a 20 s interval).
+	analyticsRate = 16.7e6 // bytes/sec per analytics process
+	// simMPIBytesPerProc is GTS's internal 2-D grid exchange per
+	// interval; GTS is "insensitive to process placement", i.e. this is
+	// small relative to the particle output.
+	simMPIBytesPerProc = 20e6
+)
+
+// amdahl returns the relative runtime at `threads` vs. 4 threads.
+func amdahl(threads int) float64 {
+	if threads < 1 {
+		threads = 1
+	}
+	f := serialFraction + (1-serialFraction)/float64(threads)
+	f4 := serialFraction + (1-serialFraction)/4
+	return f / f4
+}
+
+// Model returns the GTS application model for the coupled simulator.
+func Model() coupled.AppModel {
+	return coupled.AppModel{
+		Name: "GTS",
+		SimComputePerInterval: func(threads int) float64 {
+			return baseInterval * amdahl(threads)
+		},
+		OutputBytesPerProc: OutputBytesPerProc,
+		SimMPIBytesPerProc: simMPIBytesPerProc,
+		AnaComputePerStep: func(p int, totalBytes float64) float64 {
+			if p < 1 {
+				p = 1
+			}
+			// Near-perfect scaling with a small per-step fixed cost
+			// (histogram reduction + file write of the plots).
+			return totalBytes/(analyticsRate*float64(p)) + 0.2
+		},
+		AnaMPIBytesPerProc: 2e6,
+		InlineFraction:     InlineFraction,
+		// Inline analytics is "non-scalable": its histogram reductions
+		// and plot-file metadata serialize across all simulation ranks.
+		InlineScalePerProc:   0.004,
+		VarsPerStep:          2, // zions + electrons
+		SimWorkingSetPerNUMA: cachesim.GTSSmokyWorkingSet,
+		AnaFootprint:         cachesim.GTSAnalyticsFootprint,
+		Cache:                cachesim.Default(),
+	}
+}

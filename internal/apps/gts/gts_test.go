@@ -1,0 +1,238 @@
+package gts
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Zion, 3, 7, 100)
+	b := Generate(Zion, 3, 7, 100)
+	if len(a) != 100*NumAttrs {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("generation must be deterministic")
+		}
+	}
+	c := Generate(Electron, 3, 7, 100)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("species must differ")
+	}
+}
+
+func TestGenerateRanges(t *testing.T) {
+	p := Generate(Zion, 0, 0, 1000)
+	for i := 0; i < len(p); i += NumAttrs {
+		if p[i+AttrR] < 1.0 || p[i+AttrR] > 1.3 {
+			t.Fatalf("R out of band: %g", p[i+AttrR])
+		}
+		if p[i+AttrVPar] < -1 || p[i+AttrVPar] > 1 {
+			t.Fatalf("v_par out of band: %g", p[i+AttrVPar])
+		}
+		if p[i+AttrWeight] < 0.5 || p[i+AttrWeight] > 1.0 {
+			t.Fatalf("weight out of band: %g", p[i+AttrWeight])
+		}
+	}
+}
+
+func TestParticleCountJitters(t *testing.T) {
+	base := 10000
+	seen := map[int]bool{}
+	for step := 0; step < 10; step++ {
+		n := ParticleCount(base, 0, step)
+		if n < int(0.9*float64(base)) || n > int(1.1*float64(base)) {
+			t.Fatalf("count %d far from base %d", n, base)
+		}
+		seen[n] = true
+	}
+	if len(seen) < 3 {
+		t.Fatal("particle count should vary across steps")
+	}
+	if ParticleCount(0, 0, 0) < 1 {
+		t.Fatal("count must be at least 1")
+	}
+}
+
+func TestDistributionFunction(t *testing.T) {
+	p := Generate(Zion, 1, 1, 20000)
+	h, err := DistributionFunction(p, AttrVPar, 64, -1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h) != 64 {
+		t.Fatalf("bins = %d", len(h))
+	}
+	// Maxwellian-ish: center bins heavier than edges.
+	center := h[31] + h[32]
+	edge := h[0] + h[63]
+	if center <= edge {
+		t.Fatalf("distribution not peaked: center %g vs edge %g", center, edge)
+	}
+	// Total mass equals sum of weights of in-range particles.
+	var mass, want float64
+	for _, v := range h {
+		mass += v
+	}
+	for i := 0; i < len(p); i += NumAttrs {
+		v := p[i+AttrVPar]
+		if v >= -1 && v < 1 {
+			want += p[i+AttrWeight]
+		}
+	}
+	if math.Abs(mass-want) > 1e-9*want {
+		t.Fatalf("mass %g != %g", mass, want)
+	}
+}
+
+func TestDistributionFunctionErrors(t *testing.T) {
+	p := Generate(Zion, 0, 0, 10)
+	if _, err := DistributionFunction(p, 99, 10, 0, 1); err == nil {
+		t.Error("bad attr must error")
+	}
+	if _, err := DistributionFunction(p, 0, 0, 0, 1); err == nil {
+		t.Error("zero bins must error")
+	}
+	if _, err := DistributionFunction(p, 0, 10, 1, 1); err == nil {
+		t.Error("empty range must error")
+	}
+}
+
+func TestRangeQuerySelectivity(t *testing.T) {
+	// The production query keeps ~20% of particles.
+	p := Generate(Zion, 2, 5, 50000)
+	sel, err := RangeQuery(p, AttrVPar, DefaultQueryLo, DefaultQueryHi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(len(sel)) / float64(len(p))
+	if frac < 0.15 || frac > 0.27 {
+		t.Fatalf("selectivity = %.3f, want ~0.20", frac)
+	}
+	// Whole particles preserved.
+	if len(sel)%NumAttrs != 0 {
+		t.Fatal("selection must keep whole records")
+	}
+	for i := 0; i < len(sel); i += NumAttrs {
+		v := sel[i+AttrVPar]
+		if v < DefaultQueryLo || v >= DefaultQueryHi {
+			t.Fatalf("selected particle outside range: %g", v)
+		}
+	}
+}
+
+func TestRangeQueryErrors(t *testing.T) {
+	if _, err := RangeQuery(nil, -1, 0, 1); err == nil {
+		t.Fatal("bad attr must error")
+	}
+}
+
+func TestHistogram2D(t *testing.T) {
+	p := Generate(Zion, 0, 0, 10000)
+	h, err := Histogram2D(p, AttrR, AttrZ, 8, 8, 1.0, 1.3, -0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h) != 64 {
+		t.Fatalf("cells = %d", len(h))
+	}
+	var total float64
+	for _, c := range h {
+		if c < 0 {
+			t.Fatal("negative count")
+		}
+		total += c
+	}
+	if total == 0 {
+		t.Fatal("histogram empty")
+	}
+	if _, err := Histogram2D(p, AttrR, AttrZ, 0, 8, 0, 1, 0, 1); err == nil {
+		t.Fatal("bad spec must error")
+	}
+	if _, err := Histogram2D(p, 99, AttrZ, 8, 8, 0, 1, 0, 1); err == nil {
+		t.Fatal("bad attr must error")
+	}
+}
+
+func TestAnalyzeStepChain(t *testing.T) {
+	p := Generate(Zion, 0, 3, 20000)
+	a, err := AnalyzeStep(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalCount != 20000 {
+		t.Fatalf("total = %d", a.TotalCount)
+	}
+	frac := float64(a.Selected) / float64(a.TotalCount)
+	if frac < 0.15 || frac > 0.27 {
+		t.Fatalf("chain selectivity = %.3f", frac)
+	}
+	if len(a.DistFn) != 64 || len(a.QueryHist) != 32 || len(a.RZHist) != 1024 {
+		t.Fatal("artifact sizes wrong")
+	}
+}
+
+func TestAmdahlCalibration(t *testing.T) {
+	// Paper: 3 threads instead of 4 slows GTS by 2.7%.
+	r := amdahl(3)
+	if r < 1.025 || r > 1.030 {
+		t.Fatalf("amdahl(3) = %.4f, want ~1.027", r)
+	}
+	if amdahl(4) != 1.0 {
+		t.Fatalf("amdahl(4) = %g, want 1", amdahl(4))
+	}
+	if amdahl(1) <= amdahl(2) || amdahl(2) <= amdahl(4) {
+		t.Fatal("amdahl must decrease with threads")
+	}
+	if amdahl(0) != amdahl(1) {
+		t.Fatal("thread floor")
+	}
+}
+
+func TestModelShapes(t *testing.T) {
+	m := Model()
+	if m.Name != "GTS" || m.VarsPerStep != 2 {
+		t.Fatalf("model = %+v", m)
+	}
+	if m.OutputBytesPerProc != 110e6 {
+		t.Fatal("output volume must match the paper's 110MB/process")
+	}
+	// Analytics scales down with processes.
+	t1 := m.AnaComputePerStep(1, 1e9)
+	t4 := m.AnaComputePerStep(4, 1e9)
+	if t4 >= t1 {
+		t.Fatal("analytics must scale")
+	}
+	if m.AnaComputePerStep(0, 1e9) != t1 {
+		t.Fatal("proc floor")
+	}
+	if m.InlineFraction != 0.236 {
+		t.Fatal("inline fraction must match the paper's 23.6%")
+	}
+}
+
+func TestGenerateSelectivityProperty(t *testing.T) {
+	// Selectivity stays ~20% across ranks and steps (the workload is
+	// stationary).
+	f := func(rank, step uint8) bool {
+		p := Generate(Zion, int(rank), int(step), 5000)
+		sel, err := RangeQuery(p, AttrVPar, DefaultQueryLo, DefaultQueryHi)
+		if err != nil {
+			return false
+		}
+		frac := float64(len(sel)) / float64(len(p))
+		return frac > 0.12 && frac < 0.30
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

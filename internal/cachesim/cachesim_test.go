@@ -1,0 +1,82 @@
+package cachesim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"flexio/internal/machine"
+)
+
+func TestEffectiveShare(t *testing.T) {
+	// Solo: whole cache (capped at cache size).
+	if got := EffectiveShare(2<<20, 1<<20, 0); got != float64(2<<20) {
+		t.Fatalf("solo small ws share = %g", got)
+	}
+	// Equal demands: half each.
+	if got := EffectiveShare(1000, 500, 500); got != 500 {
+		t.Fatalf("equal share = %g", got)
+	}
+	// Zero working set: degenerate, full cache.
+	if got := EffectiveShare(1000, 0, 500); got != 1000 {
+		t.Fatalf("zero ws share = %g", got)
+	}
+}
+
+func TestMPKIMonotonicInFootprint(t *testing.T) {
+	m := Default()
+	c := machine.Smoky(1).Node.L3PerNUMA
+	prev := -1.0
+	for f := int64(0); f <= 8<<20; f += 1 << 20 {
+		got := m.MPKI(c, GTSSmokyWorkingSet, f)
+		if got < prev {
+			t.Fatalf("MPKI decreased with co-runner footprint at %d", f)
+		}
+		prev = got
+	}
+}
+
+func TestSlowdownNeverBelowOne(t *testing.T) {
+	m := Default()
+	f := func(cache, ws, co uint32) bool {
+		s := m.Slowdown(int64(cache)+1, int64(ws), int64(co))
+		return s >= 1 && !math.IsNaN(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFigure8Calibration pins the model to the paper's measurements: GTS
+// with analytics on the helper core sees ~47% more L3 misses and ~4.1%
+// longer simulation time than GTS solo.
+func TestFigure8Calibration(t *testing.T) {
+	m := Default()
+	cache := machine.Smoky(1).Node.L3PerNUMA // 2 MB Barcelona L3
+	infl := m.MissInflation(cache, GTSSmokyWorkingSet, GTSAnalyticsFootprint)
+	if infl < 1.42 || infl > 1.52 {
+		t.Fatalf("miss inflation = %.3f, want ~1.47", infl)
+	}
+	slow := m.Slowdown(cache, GTSSmokyWorkingSet, GTSAnalyticsFootprint)
+	if slow < 1.035 || slow > 1.047 {
+		t.Fatalf("slowdown = %.4f, want ~1.041", slow)
+	}
+}
+
+func TestNoInterferenceWhenCacheFits(t *testing.T) {
+	m := Default()
+	// Tiny working sets in a huge cache: sharing costs nothing.
+	if s := m.Slowdown(64<<20, 1<<20, 1<<20); s != 1 {
+		t.Fatalf("slowdown = %g, want 1 (everything fits)", s)
+	}
+	if infl := m.MissInflation(64<<20, 1<<20, 1<<20); infl != 1 {
+		t.Fatalf("inflation = %g, want 1", infl)
+	}
+}
+
+func TestMissInflationZeroBase(t *testing.T) {
+	m := Model{BaseMPKI: 0, Alpha: 1, PenaltyPerMPKI: 1}
+	if infl := m.MissInflation(100, 1000, 1000); infl != 1 {
+		t.Fatalf("zero-base inflation = %g", infl)
+	}
+}

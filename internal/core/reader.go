@@ -1,0 +1,686 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"flexio/internal/directory"
+	"flexio/internal/evpath"
+	"flexio/internal/monitor"
+	"flexio/internal/ndarray"
+)
+
+// ErrEndOfStream reports that the writer closed the stream: the return
+// the paper's analytics receive from read calls after the simulation
+// closes the file.
+var ErrEndOfStream = errors.New("core: end of stream")
+
+// ReaderGroup is the analytics-program side of a stream: N reader ranks
+// plus a coordinator (rank 0) that performed the directory lookup.
+type ReaderGroup struct {
+	Stream   string
+	NReaders int
+	net      *evpath.Net
+	dir      directory.Directory
+	mon      *monitor.Monitor
+
+	readers   []*Reader
+	coordConn evpath.Conn
+	listeners []*evpath.Listener
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	selSent    bool
+	enteredCnt int
+	arraySel   map[string][]ndarray.Box // var -> per-reader box
+	pgSel      [][]int64                // per-reader claimed writer ranks
+	steps      map[int64]*readerStep
+	writerCnt  map[int]int // writers seen per reader (from hello)
+	nWriters   int
+	eofConns   int
+	totalConn  int
+	started    bool
+	dists      map[string]distInfo // latest writer distribution per var
+	plugins    []pluginEntry
+	pluginAcks map[string]chan error
+	nextAnon   int
+
+	writerReport     *monitor.Report
+	writerReportStep int64
+	closeOnce        sync.Once
+}
+
+type pluginEntry struct {
+	name string
+	fn   evpath.FilterFunc
+}
+
+// distInfo is the writer-side distribution observed via the coordinator
+// (handshake Steps 2-3, reader's view).
+type distInfo struct {
+	step     int64
+	ndims    int
+	elemSize int
+	boxes    []ndarray.Box
+}
+
+// readerStep accumulates arriving pieces for one timestep.
+type readerStep struct {
+	step        int64
+	perReader   map[int]map[string][]piece // reader -> var -> pieces
+	doneWriters map[int]map[int]bool       // reader -> set of writers done
+}
+
+type piece struct {
+	writer   int
+	kind     VarKind
+	elemSize int
+	box      ndarray.Box // overlap region (GlobalArrayVar)
+	data     []byte
+}
+
+// Reader is one reader rank's handle.
+type Reader struct {
+	g        *ReaderGroup
+	Rank     int
+	curStep  int64
+	nextStep int64
+	inStep   bool
+	entered  bool
+}
+
+// NewReaderGroup opens the named stream: looks it up in the directory,
+// connects to the writer coordinator, and starts per-rank listeners for
+// the writers' data connections. mon may be nil.
+func NewReaderGroup(net *evpath.Net, dir directory.Directory, stream string, nReaders int, mon *monitor.Monitor) (*ReaderGroup, error) {
+	if nReaders <= 0 {
+		return nil, fmt.Errorf("core: reader group needs at least 1 rank")
+	}
+	contact, err := dir.WaitLookup(stream, 30*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	g := &ReaderGroup{
+		Stream:    stream,
+		NReaders:  nReaders,
+		net:       net,
+		dir:       dir,
+		mon:       mon,
+		arraySel:  make(map[string][]ndarray.Box),
+		pgSel:     make([][]int64, nReaders),
+		steps:     make(map[int64]*readerStep),
+		writerCnt: make(map[int]int),
+		dists:     make(map[string]distInfo),
+	}
+	g.cond = sync.NewCond(&g.mu)
+	// Per-rank data listeners must exist before the writers dial.
+	for r := 0; r < nReaders; r++ {
+		l, err := net.Listen(fmt.Sprintf("%s.r%d", stream, r))
+		if err != nil {
+			return nil, err
+		}
+		g.listeners = append(g.listeners, l)
+		go g.acceptLoop(r, l)
+	}
+	conn, err := net.Dial(contact, evpath.ChanTransport, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	g.coordConn = conn
+	go g.coordPump()
+	g.readers = make([]*Reader, nReaders)
+	for i := range g.readers {
+		g.readers[i] = &Reader{g: g, Rank: i}
+	}
+	return g, nil
+}
+
+// Reader returns rank r's handle.
+func (g *ReaderGroup) Reader(r int) *Reader { return g.readers[r] }
+
+// InstallPlugin adds a data-conditioning filter applied (in order) to
+// every arriving data event on the reader side (plug-in execution in the
+// analytics' address space). For deployment into the simulation's address
+// space see DeployPluginToWriters.
+func (g *ReaderGroup) InstallPlugin(fn evpath.FilterFunc) {
+	g.mu.Lock()
+	name := fmt.Sprintf("anon-%d", g.nextAnon)
+	g.nextAnon++
+	g.plugins = append(g.plugins, pluginEntry{name: name, fn: fn})
+	g.mu.Unlock()
+}
+
+// InstallNamedPlugin is InstallPlugin with a caller-chosen name so the
+// filter can later be removed or migrated.
+func (g *ReaderGroup) InstallNamedPlugin(name string, fn evpath.FilterFunc) {
+	g.mu.Lock()
+	g.plugins = append(g.plugins, pluginEntry{name: name, fn: fn})
+	g.mu.Unlock()
+}
+
+func (g *ReaderGroup) coordPump() {
+	for {
+		buf, err := g.coordConn.Recv()
+		if err != nil {
+			return
+		}
+		ev, err := evpath.DecodeEvent(buf)
+		if err != nil {
+			continue
+		}
+		switch kind, _ := ev.Meta.GetString("kind"); kind {
+		case msgWriterDist:
+			g.handleWriterDist(ev)
+		case msgPluginAck:
+			g.handlePluginAck(ev)
+		case msgMonitorReport:
+			g.handleMonitorReport(ev)
+		}
+	}
+}
+
+func (g *ReaderGroup) handleWriterDist(ev *evpath.Event) {
+	name, _ := ev.Meta.GetString("var")
+	nd, _ := ev.Meta.GetInt("ndims")
+	nw, _ := ev.Meta.GetInt("nwriters")
+	es, _ := ev.Meta.GetInt("elemsize")
+	step, _ := ev.Meta.GetInt("step")
+	flat, _ := ev.Meta.GetInts("boxes")
+	boxes, err := decodeBoxes(flat, int(nd), int(nw))
+	if err != nil {
+		return
+	}
+	g.mu.Lock()
+	g.dists[name] = distInfo{step: step, ndims: int(nd), elemSize: int(es), boxes: boxes}
+	g.nWriters = int(nw)
+	g.cond.Broadcast()
+	g.mu.Unlock()
+	if g.mon != nil {
+		g.mon.Incr("handshake.writer-dist.recv", 1)
+	}
+}
+
+func (g *ReaderGroup) acceptLoop(r int, l *evpath.Listener) {
+	for {
+		conn, ok := l.Accept()
+		if !ok {
+			return
+		}
+		g.mu.Lock()
+		g.totalConn++
+		g.mu.Unlock()
+		go g.dataPump(r, conn)
+	}
+}
+
+func (g *ReaderGroup) dataPump(r int, conn evpath.Conn) {
+	for {
+		buf, err := conn.Recv()
+		if err != nil {
+			g.mu.Lock()
+			g.eofConns++
+			g.cond.Broadcast()
+			g.mu.Unlock()
+			return
+		}
+		ev, err := evpath.DecodeEvent(buf)
+		if err != nil {
+			continue
+		}
+		g.routeEvent(r, ev)
+	}
+}
+
+func (g *ReaderGroup) routeEvent(r int, ev *evpath.Event) {
+	kind, _ := ev.Meta.GetString("kind")
+	switch kind {
+	case "hello":
+		w, _ := ev.Meta.GetInt("writer")
+		nw, _ := ev.Meta.GetInt("nwriters")
+		g.mu.Lock()
+		g.writerCnt[r]++
+		if int(nw) > g.nWriters {
+			g.nWriters = int(nw)
+		}
+		if int(w)+1 > g.nWriters {
+			g.nWriters = int(w) + 1
+		}
+		g.cond.Broadcast()
+		g.mu.Unlock()
+	case msgBatch:
+		// Unpack sub-events: length-prefixed frames in the payload.
+		data := ev.Data
+		for len(data) >= 8 {
+			n := getLen(data[:8])
+			data = data[8:]
+			if n > len(data) {
+				return
+			}
+			sub, err := evpath.DecodeEvent(data[:n])
+			data = data[n:]
+			if err != nil {
+				return
+			}
+			g.routeEvent(r, sub)
+		}
+	case msgData:
+		g.acceptData(r, ev)
+	case msgStepDone:
+		step, _ := ev.Meta.GetInt("step")
+		w, _ := ev.Meta.GetInt("writer")
+		g.mu.Lock()
+		st := g.step(step)
+		if st.doneWriters[r] == nil {
+			st.doneWriters[r] = make(map[int]bool)
+		}
+		st.doneWriters[r][int(w)] = true
+		g.cond.Broadcast()
+		g.mu.Unlock()
+	}
+}
+
+// acceptData runs the installed plug-ins and stores the piece.
+func (g *ReaderGroup) acceptData(r int, ev *evpath.Event) {
+	g.mu.Lock()
+	plugins := g.plugins
+	g.mu.Unlock()
+	for _, p := range plugins {
+		out, err := p.fn(ev)
+		if err != nil || out == nil {
+			if g.mon != nil && err == nil {
+				g.mon.Incr("dc.dropped", 1)
+			}
+			return
+		}
+		ev = out
+	}
+
+	step, _ := ev.Meta.GetInt("step")
+	name, _ := ev.Meta.GetString("var")
+	vk, _ := ev.Meta.GetInt("varkind")
+	es, _ := ev.Meta.GetInt("elemsize")
+	w, _ := ev.Meta.GetInt("writer")
+	p := piece{writer: int(w), kind: VarKind(vk), elemSize: int(es), data: ev.Data}
+	if VarKind(vk) == GlobalArrayVar {
+		nd, _ := ev.Meta.GetInt("ndims")
+		flat, _ := ev.Meta.GetInts("box")
+		boxes, err := decodeBoxes(flat, int(nd), 1)
+		if err != nil {
+			return
+		}
+		p.box = boxes[0]
+	}
+	g.mu.Lock()
+	st := g.step(step)
+	if st.perReader[r] == nil {
+		st.perReader[r] = make(map[string][]piece)
+	}
+	st.perReader[r][name] = append(st.perReader[r][name], p)
+	g.cond.Broadcast()
+	g.mu.Unlock()
+	if g.mon != nil {
+		g.mon.Incr("data.msgs.recv", 1)
+		g.mon.AddVolume("data.bytes.recv", int64(len(ev.Data)))
+	}
+}
+
+// step returns (creating if needed) the state for a timestep. Caller
+// holds g.mu.
+func (g *ReaderGroup) step(step int64) *readerStep {
+	st, ok := g.steps[step]
+	if !ok {
+		st = &readerStep{
+			step:        step,
+			perReader:   make(map[int]map[string][]piece),
+			doneWriters: make(map[int]map[int]bool),
+		}
+		g.steps[step] = st
+	}
+	return st
+}
+
+// SelectArray declares that this reader wants the given region of a
+// global array. Must be called before the rank's first BeginStep.
+func (r *Reader) SelectArray(name string, box ndarray.Box) error {
+	g := r.g
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.selSent {
+		return fmt.Errorf("core: selections are fixed once reading starts")
+	}
+	sel, ok := g.arraySel[name]
+	if !ok {
+		sel = make([]ndarray.Box, g.NReaders)
+		g.arraySel[name] = sel
+	}
+	sel[r.Rank] = box
+	return nil
+}
+
+// SelectProcessGroups declares the writer ranks whose process groups this
+// reader consumes.
+func (r *Reader) SelectProcessGroups(writers []int) error {
+	g := r.g
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.selSent {
+		return fmt.Errorf("core: selections are fixed once reading starts")
+	}
+	ws := make([]int64, len(writers))
+	for i, w := range writers {
+		ws[i] = int64(w)
+	}
+	g.pgSel[r.Rank] = ws
+	return nil
+}
+
+// sendSelections transmits the reader-side distribution to the writer
+// coordinator (handshake Step 2, reader's half). Runs once, triggered by
+// the first BeginStep after all ranks entered.
+func (g *ReaderGroup) sendSelections() error {
+	meta := evpath.Record{
+		"kind":     msgReaderDist,
+		"nreaders": int64(g.NReaders),
+	}
+	// Array selections: one field pair per variable.
+	names := make([]string, 0, len(g.arraySel))
+	for name := range g.arraySel {
+		names = append(names, name)
+	}
+	var nameList string
+	for i, name := range names {
+		if i > 0 {
+			nameList += "\x00"
+		}
+		nameList += name
+		boxes := g.arraySel[name]
+		nd := 0
+		for _, b := range boxes {
+			if b.NDims() > 0 {
+				nd = b.NDims()
+			}
+		}
+		// Normalize empty boxes to rank-nd empties.
+		norm := make([]ndarray.Box, len(boxes))
+		for i, b := range boxes {
+			if b.NDims() != nd {
+				norm[i] = ndarray.Box{Lo: make([]int64, nd), Hi: make([]int64, nd)}
+			} else {
+				norm[i] = b
+			}
+		}
+		meta["sel."+name+".ndims"] = int64(nd)
+		meta["sel."+name+".boxes"] = encodeBoxes(norm, nd)
+	}
+	meta["selvars"] = nameList
+	// PG claims: flattened (reader, count, writers...) list.
+	var pg []int64
+	for r, ws := range g.pgSel {
+		if len(ws) == 0 {
+			continue
+		}
+		pg = append(pg, int64(r), int64(len(ws)))
+		pg = append(pg, ws...)
+	}
+	meta["pgsel"] = pg
+	buf, err := evpath.EncodeEvent(&evpath.Event{Meta: meta})
+	if err != nil {
+		return err
+	}
+	if err := g.coordConn.Send(buf); err != nil {
+		return err
+	}
+	if g.mon != nil {
+		g.mon.Incr("handshake.reader-dist.sent", 1)
+	}
+	return nil
+}
+
+// decodeReaderSelections parses the reader coordinator's message on the
+// writer side.
+func decodeReaderSelections(ev *evpath.Event) (readerSelections, error) {
+	sel := readerSelections{
+		arrays:   make(map[string][]ndarray.Box),
+		pgClaims: make(map[int][]int),
+	}
+	n, _ := ev.Meta.GetInt("nreaders")
+	sel.nReaders = int(n)
+	if sel.nReaders <= 0 {
+		return sel, fmt.Errorf("core: reader-dist without nreaders")
+	}
+	if names, ok := ev.Meta.GetString("selvars"); ok && names != "" {
+		for _, name := range splitNames(names) {
+			nd, _ := ev.Meta.GetInt("sel." + name + ".ndims")
+			flat, _ := ev.Meta.GetInts("sel." + name + ".boxes")
+			if nd == 0 {
+				continue
+			}
+			boxes, err := decodeBoxes(flat, int(nd), sel.nReaders)
+			if err != nil {
+				return sel, err
+			}
+			sel.arrays[name] = boxes
+		}
+	}
+	if pg, ok := ev.Meta.GetInts("pgsel"); ok {
+		for i := 0; i < len(pg); {
+			if i+2 > len(pg) {
+				break
+			}
+			r := int(pg[i])
+			cnt := int(pg[i+1])
+			i += 2
+			for j := 0; j < cnt && i < len(pg); j++ {
+				w := int(pg[i])
+				i++
+				sel.pgClaims[w] = append(sel.pgClaims[w], r)
+			}
+		}
+	}
+	return sel, nil
+}
+
+func splitNames(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '\x00' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+// BeginStep blocks until the next timestep is fully delivered to this
+// rank, returning its step index. ok=false signals End-of-Stream.
+func (r *Reader) BeginStep() (step int64, ok bool) {
+	g := r.g
+	g.mu.Lock()
+	// First BeginStep is a group rendezvous: selections are sent to the
+	// writer coordinator only once every reader rank has entered, so no
+	// rank's SelectArray/SelectProcessGroups call can be missed.
+	if !r.entered {
+		r.entered = true
+		g.enteredCnt++
+		if g.enteredCnt == g.NReaders {
+			g.selSent = true
+			g.mu.Unlock()
+			if err := g.sendSelections(); err != nil {
+				return 0, false
+			}
+			g.mu.Lock()
+			g.cond.Broadcast()
+		} else {
+			for !g.selSent {
+				g.cond.Wait()
+			}
+		}
+	}
+	defer g.mu.Unlock()
+	want := r.nextStep
+	for {
+		if st, okS := g.steps[want]; okS && g.nWriters > 0 && len(st.doneWriters[r.Rank]) == g.nWriters {
+			r.curStep = want
+			r.inStep = true
+			r.nextStep = want + 1
+			return want, true
+		}
+		// EOS: every data connection for this rank saw EOF and the step
+		// never completed.
+		if g.totalConn > 0 && g.eofConns >= g.totalConn {
+			if st, okS := g.steps[want]; okS && g.nWriters > 0 && len(st.doneWriters[r.Rank]) == g.nWriters {
+				continue
+			}
+			return 0, false
+		}
+		g.cond.Wait()
+	}
+}
+
+// ReadArray assembles this reader's declared selection of a global array
+// for the current step. It returns the packed bytes (row-major over the
+// selection box) plus the box itself.
+func (r *Reader) ReadArray(name string) ([]byte, ndarray.Box, error) {
+	g := r.g
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !r.inStep {
+		return nil, ndarray.Box{}, fmt.Errorf("core: ReadArray outside BeginStep/EndStep")
+	}
+	sel, ok := g.arraySel[name]
+	if !ok || sel[r.Rank].Empty() {
+		return nil, ndarray.Box{}, fmt.Errorf("core: reader %d did not select %q", r.Rank, name)
+	}
+	box := sel[r.Rank]
+	st := g.steps[r.curStep]
+	var ps []piece
+	if st != nil && st.perReader[r.Rank] != nil {
+		ps = st.perReader[r.Rank][name]
+	}
+	var elemSize int
+	for _, p := range ps {
+		elemSize = p.elemSize
+	}
+	if elemSize == 0 {
+		// No data arrived for the selection (writers had no overlap).
+		return nil, box, fmt.Errorf("core: no data for %q selection %v at step %d", name, box, r.curStep)
+	}
+	out := make([]byte, box.NumElements()*int64(elemSize))
+	for _, p := range ps {
+		if err := ndarray.Unpack(out, p.data, box, p.box, elemSize); err != nil {
+			return nil, box, err
+		}
+	}
+	return out, box, nil
+}
+
+// ReadScalar returns a scalar variable's bytes for the current step.
+func (r *Reader) ReadScalar(name string) ([]byte, error) {
+	g := r.g
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !r.inStep {
+		return nil, fmt.Errorf("core: ReadScalar outside BeginStep/EndStep")
+	}
+	st := g.steps[r.curStep]
+	if st == nil || st.perReader[r.Rank] == nil {
+		return nil, fmt.Errorf("core: no scalar %q at step %d", name, r.curStep)
+	}
+	for _, p := range st.perReader[r.Rank][name] {
+		if p.kind == ScalarVar {
+			return p.data, nil
+		}
+	}
+	return nil, fmt.Errorf("core: no scalar %q at step %d", name, r.curStep)
+}
+
+// ReadProcessGroups returns the process-group payloads this reader
+// claimed, keyed by writer rank, for one variable.
+func (r *Reader) ReadProcessGroups(name string) (map[int][]byte, error) {
+	g := r.g
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !r.inStep {
+		return nil, fmt.Errorf("core: ReadProcessGroups outside BeginStep/EndStep")
+	}
+	out := make(map[int][]byte)
+	st := g.steps[r.curStep]
+	if st == nil || st.perReader[r.Rank] == nil {
+		return out, nil
+	}
+	for _, p := range st.perReader[r.Rank][name] {
+		if p.kind == ProcessGroupVar {
+			out[p.writer] = p.data
+		}
+	}
+	return out, nil
+}
+
+// WriterDistribution exposes the writer-side distribution the coordinator
+// received for a variable (empty result before the first handshake).
+// Analytics uses it for re-distribution planning and monitoring.
+func (g *ReaderGroup) WriterDistribution(name string) ([]ndarray.Box, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	d, ok := g.dists[name]
+	if !ok {
+		return nil, false
+	}
+	out := make([]ndarray.Box, len(d.boxes))
+	copy(out, d.boxes)
+	return out, true
+}
+
+// EndStep releases the current step's buffered pieces for this rank.
+func (r *Reader) EndStep() error {
+	g := r.g
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !r.inStep {
+		return fmt.Errorf("core: EndStep outside a step")
+	}
+	r.inStep = false
+	st := g.steps[r.curStep]
+	if st != nil {
+		delete(st.perReader, r.Rank)
+		// Drop the whole step once every rank has consumed it.
+		if len(st.perReader) == 0 {
+			allDone := true
+			for rr := 0; rr < g.NReaders; rr++ {
+				if len(st.doneWriters[rr]) != g.nWriters {
+					allDone = false
+					break
+				}
+			}
+			consumed := true
+			for rr := 0; rr < g.NReaders; rr++ {
+				if g.readers[rr].nextStep <= st.step {
+					consumed = false
+					break
+				}
+			}
+			if allDone && consumed {
+				delete(g.steps, st.step)
+			}
+		}
+	}
+	return nil
+}
+
+// Close hangs up the reader side.
+func (g *ReaderGroup) Close() error {
+	g.closeOnce.Do(func() {
+		for _, l := range g.listeners {
+			l.Close()
+		}
+		if g.coordConn != nil {
+			g.coordConn.Close()
+		}
+	})
+	return nil
+}

@@ -1,0 +1,744 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"flexio/internal/directory"
+	"flexio/internal/evpath"
+	"flexio/internal/monitor"
+	"flexio/internal/ndarray"
+)
+
+// WriterGroup is the writer-program side of a stream: M writer ranks plus
+// an elected coordinator (rank 0). In stream mode, "creating a file"
+// registers the stream name with the directory server; the analytics that
+// "opens the named file" is connected underneath by the transport
+// (Section II.B).
+type WriterGroup struct {
+	Stream   string
+	NWriters int
+	opts     Options
+	net      *evpath.Net
+	dir      directory.Directory
+	mon      *monitor.Monitor
+
+	writers []*Writer
+
+	coordListener *evpath.Listener
+	coordConn     evpath.Conn
+
+	selMu    sync.Mutex
+	selCond  *sync.Cond
+	selReady bool
+	sel      readerSelections
+	selErr   error
+
+	nReaders int
+	conns    [][]evpath.Conn // [writer][reader], nil where never used
+
+	plugins writerPlugins // codelets deployed from the reader side
+
+	stepMu      sync.Mutex
+	open        map[int64]*pendingStep // steps with outstanding deposits
+	asyncCh     chan *pendingStep
+	asyncDone   chan struct{}
+	asyncErr    error
+	asyncErrMu  sync.Mutex
+	lastDist    map[string]string // var -> fingerprint of writer boxes last handshaken
+	sentAnyDist bool
+
+	closeOnce sync.Once
+}
+
+// Writer is one writer rank's handle.
+type Writer struct {
+	g        *WriterGroup
+	Rank     int
+	cur      *pendingStep // step this rank currently has open
+	lastStep int64        // last step this rank completed (for ordering)
+	begun    bool
+}
+
+// pendingStep accumulates one timestep's variables from all ranks.
+type pendingStep struct {
+	step     int64
+	vars     map[int][]varData // writer rank -> written vars (in order)
+	deposits int
+	done     chan struct{}
+	err      error
+}
+
+type varData struct {
+	meta VarMeta
+	data []byte
+}
+
+// readerSelections is the reader-side distribution received during the
+// handshake (Step 2 from the peer's perspective).
+type readerSelections struct {
+	nReaders int
+	// arrays[var][reader] is the reader's requested box (empty box = not
+	// selected by that reader).
+	arrays map[string][]ndarray.Box
+	// pgClaims[writerRank] lists reader ranks consuming that writer's
+	// process groups.
+	pgClaims map[int][]int
+}
+
+// NewWriterGroup creates the writer side of a stream and registers it
+// with the directory. mon may be nil.
+func NewWriterGroup(net *evpath.Net, dir directory.Directory, stream string, nWriters int, opts Options, mon *monitor.Monitor) (*WriterGroup, error) {
+	if nWriters <= 0 {
+		return nil, fmt.Errorf("core: writer group needs at least 1 rank")
+	}
+	g := &WriterGroup{
+		Stream:   stream,
+		NWriters: nWriters,
+		opts:     opts.withDefaults(),
+		net:      net,
+		dir:      dir,
+		mon:      mon,
+		lastDist: make(map[string]string),
+		open:     make(map[int64]*pendingStep),
+	}
+	g.selCond = sync.NewCond(&g.selMu)
+
+	contact := stream + ".coord"
+	l, err := net.Listen(contact)
+	if err != nil {
+		return nil, err
+	}
+	g.coordListener = l
+	if err := dir.Register(stream, contact); err != nil {
+		l.Close()
+		return nil, err
+	}
+	g.writers = make([]*Writer, nWriters)
+	for i := range g.writers {
+		g.writers[i] = &Writer{g: g, Rank: i}
+	}
+	// Accept the reader coordinator's connection in the background; the
+	// first EndStep blocks until selections arrive.
+	go g.acceptCoordinator()
+
+	if g.opts.Async {
+		g.asyncCh = make(chan *pendingStep, g.opts.AsyncQueueDepth)
+		g.asyncDone = make(chan struct{})
+		go g.asyncWorker()
+	}
+	return g, nil
+}
+
+// Writer returns rank w's handle.
+func (g *WriterGroup) Writer(w int) *Writer { return g.writers[w] }
+
+func (g *WriterGroup) acceptCoordinator() {
+	conn, ok := g.coordListener.Accept()
+	if !ok {
+		g.failSelections(fmt.Errorf("core: stream %q closed before readers connected", g.Stream))
+		return
+	}
+	g.selMu.Lock()
+	g.coordConn = conn
+	g.selMu.Unlock()
+	// Pump reader-coordinator messages: selections now, and potentially
+	// re-selections later.
+	for {
+		buf, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		ev, err := evpath.DecodeEvent(buf)
+		if err != nil {
+			g.failSelections(fmt.Errorf("core: bad coordinator message: %w", err))
+			return
+		}
+		kind, _ := ev.Meta.GetString("kind")
+		if kind == msgDeployPlugin || kind == msgRemovePlugin {
+			ack := g.handlePluginControl(ev)
+			if buf, err := evpath.EncodeEvent(ack); err == nil {
+				conn.Send(buf) //nolint:errcheck // reader times out if lost
+			}
+			continue
+		}
+		if kind != msgReaderDist {
+			continue
+		}
+		sel, err := decodeReaderSelections(ev)
+		if err != nil {
+			g.failSelections(err)
+			return
+		}
+		g.selMu.Lock()
+		g.sel = sel
+		g.nReaders = sel.nReaders
+		g.selReady = true
+		g.selCond.Broadcast()
+		g.selMu.Unlock()
+		if g.mon != nil {
+			g.mon.Incr("handshake.reader-dist.recv", 1)
+		}
+	}
+}
+
+func (g *WriterGroup) failSelections(err error) {
+	g.selMu.Lock()
+	if !g.selReady {
+		g.selErr = err
+		g.selReady = true
+		g.selCond.Broadcast()
+	}
+	g.selMu.Unlock()
+}
+
+// waitSelections blocks until the reader side has declared its
+// distributions (the writer's view of handshake Step 2).
+func (g *WriterGroup) waitSelections() (readerSelections, error) {
+	g.selMu.Lock()
+	defer g.selMu.Unlock()
+	for !g.selReady {
+		g.selCond.Wait()
+	}
+	return g.sel, g.selErr
+}
+
+// ensureConns lazily dials the data connections writer w needs.
+func (g *WriterGroup) ensureConns() error {
+	if g.conns != nil {
+		return nil
+	}
+	g.conns = make([][]evpath.Conn, g.NWriters)
+	for w := 0; w < g.NWriters; w++ {
+		g.conns[w] = make([]evpath.Conn, g.nReaders)
+		for r := 0; r < g.nReaders; r++ {
+			kind, nodeW, nodeR := g.opts.Transport(w, r)
+			conn, err := g.net.Dial(fmt.Sprintf("%s.r%d", g.Stream, r), kind, nodeW, nodeR)
+			if err != nil {
+				return fmt.Errorf("core: dialing reader %d from writer %d: %w", r, w, err)
+			}
+			// Identify ourselves and the writer-group size so the reader
+			// can track step completion deterministically.
+			hello, err := evpath.EncodeEvent(&evpath.Event{
+				Meta: evpath.Record{"kind": "hello", "writer": int64(w), "nwriters": int64(g.NWriters)},
+			})
+			if err != nil {
+				return err
+			}
+			if g.opts.WrapConn != nil {
+				conn = g.opts.WrapConn(conn)
+			}
+			if err := g.sendWithRetry(conn, hello); err != nil {
+				return err
+			}
+			g.conns[w][r] = conn
+		}
+	}
+	return nil
+}
+
+// BeginStep starts timestep `step` for this rank. Each rank must write
+// steps in increasing order; ranks may be at most one step apart (the
+// usual bulk-synchronous discipline), which the per-step deposit
+// accounting below tolerates without a global barrier.
+func (w *Writer) BeginStep(step int64) error {
+	g := w.g
+	g.stepMu.Lock()
+	defer g.stepMu.Unlock()
+	if w.cur != nil {
+		return fmt.Errorf("core: rank %d began step %d with step %d still open", w.Rank, step, w.cur.step)
+	}
+	if w.begun && step <= w.lastStep {
+		return fmt.Errorf("core: rank %d began step %d after step %d", w.Rank, step, w.lastStep)
+	}
+	ps, ok := g.open[step]
+	if !ok {
+		ps = &pendingStep{
+			step: step,
+			vars: make(map[int][]varData),
+			done: make(chan struct{}),
+		}
+		g.open[step] = ps
+	}
+	w.cur = ps
+	w.begun = true
+	w.lastStep = step
+	return nil
+}
+
+// Write deposits one variable for the current step. Data is copied, so
+// the caller may reuse its buffer immediately (the copy is the first of
+// the transport's memory copies and what makes the async API safe).
+func (w *Writer) Write(meta VarMeta, data []byte) error {
+	if err := meta.Validate(); err != nil {
+		return err
+	}
+	need := int64(len(data))
+	switch meta.Kind {
+	case GlobalArrayVar:
+		if want := meta.Box.NumElements() * int64(meta.ElemSize); need != want {
+			return fmt.Errorf("core: %q: %d bytes for box %v (want %d)", meta.Name, need, meta.Box, want)
+		}
+	case ScalarVar:
+		if need != int64(meta.ElemSize) {
+			return fmt.Errorf("core: scalar %q: %d bytes, want %d", meta.Name, need, meta.ElemSize)
+		}
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	if w.g.mon != nil {
+		w.g.mon.RecordAlloc(int64(len(cp)))
+	}
+	g := w.g
+	g.stepMu.Lock()
+	defer g.stepMu.Unlock()
+	if w.cur == nil {
+		return fmt.Errorf("core: rank %d Write before BeginStep", w.Rank)
+	}
+	w.cur.vars[w.Rank] = append(w.cur.vars[w.Rank], varData{meta: meta, data: cp})
+	return nil
+}
+
+// EndStep completes the rank's participation in the step. When the last
+// rank arrives, the step is flushed — synchronously (EndStep returns when
+// data movement finished) or asynchronously (EndStep returns once the
+// step is queued).
+func (w *Writer) EndStep() error {
+	g := w.g
+	g.stepMu.Lock()
+	ps := w.cur
+	if ps == nil {
+		g.stepMu.Unlock()
+		return fmt.Errorf("core: rank %d EndStep before BeginStep", w.Rank)
+	}
+	w.cur = nil
+	ps.deposits++
+	last := ps.deposits == g.NWriters
+	if last {
+		delete(g.open, ps.step)
+	}
+	g.stepMu.Unlock()
+
+	if !last {
+		if g.opts.Async {
+			return nil
+		}
+		<-ps.done
+		return ps.err
+	}
+	if g.opts.Async {
+		g.asyncErrMu.Lock()
+		err := g.asyncErr
+		g.asyncErrMu.Unlock()
+		if err != nil {
+			return err
+		}
+		g.asyncCh <- ps
+		return nil
+	}
+	ps.err = g.flush(ps)
+	close(ps.done)
+	return ps.err
+}
+
+func (g *WriterGroup) asyncWorker() {
+	defer close(g.asyncDone)
+	for ps := range g.asyncCh {
+		if err := g.flush(ps); err != nil {
+			g.asyncErrMu.Lock()
+			g.asyncErr = err
+			g.asyncErrMu.Unlock()
+		}
+		ps.err = nil
+		close(ps.done)
+	}
+}
+
+// distFingerprint summarizes the writer-side distribution of a variable
+// so the caching logic can detect changes (particle counts changing
+// across timesteps force re-handshaking even under CACHING_ALL).
+func distFingerprint(metaByRank map[int][]varData, name string, nWriters int) string {
+	s := ""
+	for w := 0; w < nWriters; w++ {
+		for _, v := range metaByRank[w] {
+			if v.meta.Name == name {
+				s += v.meta.Box.String() + ";"
+			}
+		}
+	}
+	return s
+}
+
+// flush performs the per-step protocol: (re-)handshake as the caching
+// level demands, then pack and send each writer's pieces (Step 4.s).
+func (g *WriterGroup) flush(ps *pendingStep) error {
+	var stopTimer func()
+	if g.mon != nil {
+		stopTimer = g.mon.Start("flush")
+		defer stopTimer()
+	}
+	sel, err := g.waitSelections()
+	if err != nil {
+		return err
+	}
+	if err := g.ensureConns(); err != nil {
+		return err
+	}
+
+	// Collect variable names in deterministic order (gather Step 1.s —
+	// free of cost here because ranks share an address space, but still a
+	// distinct protocol step whose skipping CachingLocal+ records).
+	var names []string
+	seen := map[string]bool{}
+	for w := 0; w < g.NWriters; w++ {
+		for _, v := range ps.vars[w] {
+			if !seen[v.meta.Name] {
+				seen[v.meta.Name] = true
+				names = append(names, v.meta.Name)
+			}
+		}
+	}
+	if g.mon != nil && g.opts.Caching == NoCaching {
+		g.mon.Incr("handshake.local-gather", int64(len(names)))
+	}
+
+	// Steps 2-3: exchange distribution with the peer coordinator when the
+	// caching level or a distribution change demands it.
+	for _, name := range names {
+		fp := distFingerprint(ps.vars, name, g.NWriters)
+		cached := g.lastDist[name] == fp && g.sentAnyDist
+		need := false
+		switch g.opts.Caching {
+		case NoCaching:
+			need = true
+		case CachingLocal:
+			need = true // local info reused, but peer exchange still happens
+		case CachingAll:
+			need = !cached
+		}
+		if need {
+			if err := g.sendWriterDist(ps, name); err != nil {
+				return err
+			}
+			g.lastDist[name] = fp
+		}
+	}
+	g.sentAnyDist = true
+
+	// Step 4.s: pack strides per receiver and send.
+	if g.opts.Batching {
+		err = g.sendBatched(ps, sel)
+	} else {
+		err = g.sendPerVariable(ps, sel)
+	}
+	if err != nil {
+		return err
+	}
+
+	// Step completion markers let readers detect step boundaries without
+	// trusting piece counts.
+	for w := 0; w < g.NWriters; w++ {
+		for r := 0; r < g.nReaders; r++ {
+			ev := &evpath.Event{Meta: evpath.Record{
+				"kind": msgStepDone, "step": ps.step, "writer": int64(w),
+			}}
+			if err := g.sendEvent(w, r, ev); err != nil {
+				return err
+			}
+		}
+	}
+	// Release deposited buffers.
+	if g.mon != nil {
+		for _, vars := range ps.vars {
+			for _, v := range vars {
+				g.mon.RecordFree(int64(len(v.data)))
+			}
+		}
+	}
+	// Online monitoring: gather this side's counters and ship them to
+	// the analytics side for runtime management (Section II.G).
+	g.shipMonitorReport(ps.step)
+	return nil
+}
+
+func (g *WriterGroup) sendWriterDist(ps *pendingStep, name string) error {
+	g.selMu.Lock()
+	coord := g.coordConn
+	g.selMu.Unlock()
+	if coord == nil {
+		return fmt.Errorf("core: no coordinator connection")
+	}
+	// Gather this var's boxes across ranks (empty box when a rank did not
+	// write it).
+	var nd int
+	var elemSize int64
+	boxes := make([]ndarray.Box, g.NWriters)
+	for w := 0; w < g.NWriters; w++ {
+		for _, v := range ps.vars[w] {
+			if v.meta.Name == name && v.meta.Kind == GlobalArrayVar {
+				boxes[w] = v.meta.Box
+				nd = len(v.meta.GlobalShape)
+				elemSize = int64(v.meta.ElemSize)
+			}
+		}
+	}
+	if nd == 0 {
+		return nil // scalar or PG var: no distribution to exchange
+	}
+	ev := &evpath.Event{Meta: evpath.Record{
+		"kind":     msgWriterDist,
+		"step":     ps.step,
+		"var":      name,
+		"ndims":    int64(nd),
+		"nwriters": int64(g.NWriters),
+		"elemsize": elemSize,
+		"boxes":    encodeBoxes(boxes, nd),
+	}}
+	buf, err := evpath.EncodeEvent(ev)
+	if err != nil {
+		return err
+	}
+	if err := coord.Send(buf); err != nil {
+		return err
+	}
+	if g.mon != nil {
+		g.mon.Incr("handshake.writer-dist.sent", 1)
+	}
+	return nil
+}
+
+// sendPerVariable moves each variable separately (default granularity).
+func (g *WriterGroup) sendPerVariable(ps *pendingStep, sel readerSelections) error {
+	for w := 0; w < g.NWriters; w++ {
+		for _, v := range ps.vars[w] {
+			pieces, err := g.piecesFor(ps.step, w, v, sel)
+			if err != nil {
+				return err
+			}
+			for r, evs := range pieces {
+				for _, ev := range evs {
+					out, err := g.plugins.apply(ev)
+					if err != nil {
+						return err
+					}
+					if out == nil {
+						if g.mon != nil {
+							g.mon.Incr("dc.writer.dropped", 1)
+						}
+						continue
+					}
+					if err := g.sendEvent(w, r, out); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// sendBatched packs all of a writer's pieces for one reader into a single
+// framed transfer, aggregating handshaking and data messages.
+func (g *WriterGroup) sendBatched(ps *pendingStep, sel readerSelections) error {
+	for w := 0; w < g.NWriters; w++ {
+		perReader := make(map[int][]*evpath.Event)
+		for _, v := range ps.vars[w] {
+			pieces, err := g.piecesFor(ps.step, w, v, sel)
+			if err != nil {
+				return err
+			}
+			for r, evs := range pieces {
+				perReader[r] = append(perReader[r], evs...)
+			}
+		}
+		for r, evs := range perReader {
+			if len(evs) == 0 {
+				continue
+			}
+			// Frame: concatenated encoded sub-events with a count.
+			var payload []byte
+			kept := 0
+			for _, ev := range evs {
+				out, err := g.plugins.apply(ev)
+				if err != nil {
+					return err
+				}
+				if out == nil {
+					if g.mon != nil {
+						g.mon.Incr("dc.writer.dropped", 1)
+					}
+					continue
+				}
+				ev = out
+				kept++
+				b, err := evpath.EncodeEvent(ev)
+				if err != nil {
+					return err
+				}
+				var hdr [8]byte
+				putLen(hdr[:], len(b))
+				payload = append(payload, hdr[:]...)
+				payload = append(payload, b...)
+			}
+			if kept == 0 {
+				continue
+			}
+			batch := &evpath.Event{
+				Meta: evpath.Record{"kind": msgBatch, "step": ps.step, "writer": int64(w), "count": int64(kept)},
+				Data: payload,
+			}
+			if err := g.sendEvent(w, r, batch); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// piecesFor computes the pieces writer w must send for variable v,
+// keyed by reader rank. This is the per-process mapping computation: the
+// overlap of the writer's box with each reader's requested box.
+func (g *WriterGroup) piecesFor(step int64, w int, v varData, sel readerSelections) (map[int][]*evpath.Event, error) {
+	out := make(map[int][]*evpath.Event)
+	switch v.meta.Kind {
+	case ScalarVar:
+		// Rank 0 broadcasts scalars.
+		if w != 0 {
+			return out, nil
+		}
+		for r := 0; r < g.nReaders; r++ {
+			out[r] = append(out[r], &evpath.Event{
+				Meta: evpath.Record{
+					"kind": msgData, "step": step, "var": v.meta.Name,
+					"varkind": int64(ScalarVar), "elemsize": int64(v.meta.ElemSize),
+					"writer": int64(w),
+				},
+				Data: v.data,
+			})
+		}
+	case ProcessGroupVar:
+		for _, r := range sel.pgClaims[w] {
+			out[r] = append(out[r], &evpath.Event{
+				Meta: evpath.Record{
+					"kind": msgData, "step": step, "var": v.meta.Name,
+					"varkind": int64(ProcessGroupVar), "elemsize": int64(v.meta.ElemSize),
+					"writer": int64(w),
+				},
+				Data: v.data,
+			})
+		}
+	case GlobalArrayVar:
+		selBoxes, ok := sel.arrays[v.meta.Name]
+		if !ok {
+			return out, nil // nobody reads this variable
+		}
+		for r := 0; r < g.nReaders && r < len(selBoxes); r++ {
+			rb := selBoxes[r]
+			if rb.Empty() {
+				continue
+			}
+			ov, has := v.meta.Box.Intersect(rb)
+			if !has {
+				continue
+			}
+			packed, err := ndarray.Pack(nil, v.data, v.meta.Box, ov, v.meta.ElemSize)
+			if err != nil {
+				return nil, err
+			}
+			nd := len(v.meta.GlobalShape)
+			out[r] = append(out[r], &evpath.Event{
+				Meta: evpath.Record{
+					"kind": msgData, "step": step, "var": v.meta.Name,
+					"varkind": int64(GlobalArrayVar), "elemsize": int64(v.meta.ElemSize),
+					"ndims": int64(nd), "box": encodeBoxes([]ndarray.Box{ov}, nd),
+					"writer": int64(w),
+				},
+				Data: packed,
+			})
+		}
+	}
+	return out, nil
+}
+
+func (g *WriterGroup) sendEvent(w, r int, ev *evpath.Event) error {
+	buf, err := evpath.EncodeEvent(ev)
+	if err != nil {
+		return err
+	}
+	if err := g.sendWithRetry(g.conns[w][r], buf); err != nil {
+		return err
+	}
+	if g.mon != nil {
+		g.mon.Incr("data.msgs", 1)
+		g.mon.AddVolume("data.bytes", int64(len(buf)))
+	}
+	return nil
+}
+
+// sendWithRetry implements the runtime's timeout-and-retry resiliency
+// scheme (Section II.H): transient transport faults are retried with a
+// short backoff up to Options.SendRetries times; permanent failures (and
+// exhausted budgets) surface to the caller.
+func (g *WriterGroup) sendWithRetry(conn evpath.Conn, buf []byte) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = conn.Send(buf)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, evpath.ErrTransient) || attempt >= g.opts.SendRetries {
+			return err
+		}
+		if g.mon != nil {
+			g.mon.Incr("send.retries", 1)
+		}
+		time.Sleep(time.Duration(attempt+1) * time.Millisecond)
+	}
+}
+
+// Close flushes pending async steps, closes every connection (readers see
+// End-of-Stream), and unregisters the stream.
+func (g *WriterGroup) Close() error {
+	var err error
+	g.closeOnce.Do(func() {
+		if g.opts.Async {
+			close(g.asyncCh)
+			<-g.asyncDone
+			g.asyncErrMu.Lock()
+			err = g.asyncErr
+			g.asyncErrMu.Unlock()
+		}
+		for _, row := range g.conns {
+			for _, c := range row {
+				if c != nil {
+					c.Close()
+				}
+			}
+		}
+		g.selMu.Lock()
+		coord := g.coordConn
+		g.selMu.Unlock()
+		if coord != nil {
+			coord.Close()
+		}
+		g.coordListener.Close()
+		g.dir.Unregister(g.Stream) //nolint:errcheck
+	})
+	return err
+}
+
+func putLen(b []byte, n int) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(uint64(n) >> (8 * i))
+	}
+}
+
+func getLen(b []byte) int {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return int(v)
+}

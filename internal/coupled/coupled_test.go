@@ -1,0 +1,375 @@
+package coupled_test
+
+import (
+	"testing"
+
+	"flexio/internal/apps/gts"
+	"flexio/internal/apps/s3d"
+	. "flexio/internal/coupled"
+	"flexio/internal/graph"
+	"flexio/internal/machine"
+	"flexio/internal/placement"
+)
+
+// buildGTSSpec mirrors the experiment harness: P GTS processes with the
+// given threads, one analytics process each, paired PG streams.
+func buildGTSSpec(m *machine.Machine, nSim, threads int) *placement.Spec {
+	g := graph.New(nSim * 2)
+	for i := 0; i < nSim; i++ {
+		g.AddEdge(i, nSim+i, gts.OutputBytesPerProc)
+		g.AddEdge(i, (i+1)%nSim, 20e6)
+		if i+1 < nSim {
+			g.AddEdge(nSim+i, nSim+i+1, 2e6)
+		}
+	}
+	return &placement.Spec{Machine: m, NSim: nSim, NAna: nSim, SimThreads: threads, Comm: g}
+}
+
+func buildS3DSpec(m *machine.Machine, nSim, nAna int) *placement.Spec {
+	g := graph.New(nSim + nAna)
+	for i := 0; i < nSim; i++ {
+		g.AddEdge(i, nSim+i/(nSim/nAna), s3d.OutputBytesPerProc)
+		g.AddEdge(i, (i+1)%nSim, 50e6)
+		if i+8 < nSim {
+			g.AddEdge(i, i+8, 50e6)
+		}
+	}
+	for i := 0; i < nAna-1; i++ {
+		g.AddEdge(nSim+i, nSim+i+1, 30e6)
+	}
+	return &placement.Spec{Machine: m, NSim: nSim, NAna: nAna, SimThreads: 1, Comm: g}
+}
+
+func gtsApp() AppModel {
+	app := gts.Model()
+	app.NUMAStraddlePenalty = 0.07
+	return app
+}
+
+func TestGTSHelperCoreBeatsInline(t *testing.T) {
+	m := machine.Smoky(16)
+	app := gtsApp()
+	const steps = 10
+
+	// Inline: 4 threads fill nodes.
+	inlSpec := buildGTSSpec(m, 32, 4)
+	inl, err := placement.InlinePlacement(inlSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rInl, err := Run(Config{App: app, Place: inl, Steps: steps})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Helper core: 3 threads + 1 analytics core per process.
+	hcSpec := buildGTSSpec(m, 32, 3)
+	hc, err := placement.TopologyAware(hcSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rHC, err := Run(Config{App: app, Place: hc, Steps: steps})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rHC.TotalTime >= rInl.TotalTime {
+		t.Fatalf("helper-core (%.1fs) must beat inline (%.1fs)", rHC.TotalTime, rInl.TotalTime)
+	}
+	improvement := 1 - rHC.TotalTime/rInl.TotalTime
+	if improvement < 0.05 || improvement > 0.35 {
+		t.Fatalf("improvement = %.1f%%, expected 5-35%% (paper: up to 30%%)", improvement*100)
+	}
+	// Same node count -> helper core also wins CPU-hours.
+	if rHC.CPUHours >= rInl.CPUHours {
+		t.Fatalf("helper-core CPU-hours %.2f must beat inline %.2f", rHC.CPUHours, rInl.CPUHours)
+	}
+}
+
+func TestGTSTopoAwareBestHelperVariant(t *testing.T) {
+	m := machine.Smoky(16)
+	app := gtsApp()
+	spec := buildGTSSpec(m, 32, 3)
+
+	inter := graph.New(spec.NSim + spec.NAna)
+	for i := 0; i < spec.NSim; i++ {
+		inter.AddEdge(i, spec.NSim+i, gts.OutputBytesPerProc)
+	}
+	da, err := placement.DataAware(spec, inter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ho, err := placement.Holistic(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, err := placement.TopologyAware(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{App: app, Steps: 10}
+	results := map[string]float64{}
+	for name, p := range map[string]*placement.Placement{"da": da, "ho": ho, "ta": ta} {
+		cfg.Place = p
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[name] = r.TotalTime
+	}
+	if results["ta"] > results["ho"]*1.001 || results["ta"] > results["da"]*1.001 {
+		t.Fatalf("topology-aware (%.2f) must be best: holistic %.2f, data-aware %.2f",
+			results["ta"], results["ho"], results["da"])
+	}
+	// Paper: data-aware trails topology-aware by up to ~9.5%.
+	if gap := results["da"]/results["ta"] - 1; gap > 0.15 {
+		t.Fatalf("data-aware gap %.1f%% implausibly large", gap*100)
+	}
+}
+
+func TestGTSStagingWorseThanHelperCore(t *testing.T) {
+	m := machine.Smoky(24)
+	app := gtsApp()
+	hcSpec := buildGTSSpec(m, 32, 3)
+	hc, err := placement.TopologyAware(hcSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rHC, err := Run(Config{App: app, Place: hc, Steps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stSpec := buildGTSSpec(m, 32, 4)
+	st, err := placement.StagingPlacement(stSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rST, err := Run(Config{App: app, Place: st, Steps: 10, Async: true, PacingFraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rST.TotalTime <= rHC.TotalTime {
+		t.Fatalf("staging (%.1fs) should trail helper-core (%.1fs) for GTS", rST.TotalTime, rHC.TotalTime)
+	}
+	// The tuned scheduling policy keeps the simulation slowdown under 15%.
+	if rST.SimSlowdown > 1.15 {
+		t.Fatalf("staging sim slowdown %.3f exceeds the 15%% budget", rST.SimSlowdown)
+	}
+	// Staging uses extra nodes -> worse CPU-hours than helper core.
+	if rST.CPUHours <= rHC.CPUHours {
+		t.Fatalf("staging CPU-hours %.2f should exceed helper-core %.2f", rST.CPUHours, rHC.CPUHours)
+	}
+	// Helper core avoids ~all inter-node movement of particle data.
+	if rHC.InterNodeBytes > 0.1*rST.InterNodeBytes {
+		t.Fatalf("helper-core inter-node bytes %.0f not <10%% of staging %.0f",
+			rHC.InterNodeBytes, rST.InterNodeBytes)
+	}
+}
+
+func TestGTSLowerBoundProximity(t *testing.T) {
+	// Paper: best placement within 8.4% of the solo lower bound on Smoky.
+	m := machine.Smoky(16)
+	app := gtsApp()
+	spec := buildGTSSpec(m, 32, 3)
+	ta, err := placement.TopologyAware(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const steps = 50
+	r, err := Run(Config{App: app, Place: ta, Steps: steps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := SoloTime(app, 4, steps)
+	gap := r.TotalTime/lb - 1
+	if gap < 0 || gap > 0.12 {
+		t.Fatalf("gap to lower bound = %.1f%%, want 0-12%% (paper: <=8.4%%)", gap*100)
+	}
+}
+
+func TestGTSPhaseBreakdownFig7(t *testing.T) {
+	m := machine.Smoky(16)
+	app := gtsApp()
+	spec := buildGTSSpec(m, 32, 3)
+	ta, err := placement.TopologyAware(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(Config{App: app, Place: ta, Steps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph := r.Phases
+	// Case 1 of Figure 7: nearly invisible I/O thanks to shm transport...
+	if ph.SimVisIO > 0.5 {
+		t.Fatalf("helper-core visible I/O %.3fs should be near-invisible", ph.SimVisIO)
+	}
+	// ...and analytics idle a majority of the interval (paper: ~67%).
+	idleFrac := ph.AnaIdle / (ph.AnaIdle + ph.Analysis)
+	if idleFrac < 0.4 || idleFrac > 0.85 {
+		t.Fatalf("analytics idle fraction = %.2f, want ~0.67", idleFrac)
+	}
+	// Cache sharing shows up in the counters (Figure 8).
+	if r.MPKIShared <= r.MPKISolo {
+		t.Fatal("helper-core run must show inflated MPKI")
+	}
+	infl := r.MPKIShared / r.MPKISolo
+	if infl < 1.3 || infl > 1.6 {
+		t.Fatalf("MPKI inflation = %.2f, want ~1.47", infl)
+	}
+}
+
+func TestS3DStagingBeatsInlineAndHybrid(t *testing.T) {
+	m := machine.Smoky(20)
+	app := s3d.Model()
+	const nSim, steps = 256, 50
+	nAna := nSim / s3d.WritersPerReader
+
+	inlSpec := buildS3DSpec(m, nSim, nAna)
+	inl, err := placement.InlinePlacement(inlSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rInl, err := Run(Config{App: app, Place: inl, Steps: steps})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stSpec := buildS3DSpec(m, nSim, nAna)
+	ho, err := placement.Holistic(stSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgStream := Config{App: app, Steps: steps, Async: true, Batching: true,
+		WritersPerReader: s3d.WritersPerReader, PacingFraction: 0.5}
+	cfgStream.Place = ho
+	rHO, err := Run(cfgStream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rHO.Kind != placement.Staging {
+		t.Fatalf("holistic S3D placement kind = %v, want staging", rHO.Kind)
+	}
+	if rHO.TotalTime >= rInl.TotalTime {
+		t.Fatalf("staging (%.1fs) must beat inline (%.1fs) for S3D", rHO.TotalTime, rInl.TotalTime)
+	}
+	adv := 1 - rHO.TotalTime/rInl.TotalTime
+	if adv < 0.08 || adv > 0.40 {
+		t.Fatalf("staging advantage = %.1f%%, want ~10-35%% (paper: up to 19%% Smoky / 30%% Titan)", adv*100)
+	}
+
+	// Hybrid (data-aware) spreads viz processes among sim nodes,
+	// pushing S3D's internal MPI across the interconnect.
+	inter := graph.New(nSim + nAna)
+	for i := 0; i < nSim; i++ {
+		inter.AddEdge(i, nSim+i/(nSim/nAna), s3d.OutputBytesPerProc)
+	}
+	da, err := placement.DataAware(stSpec, inter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgStream.Place = da
+	rDA, err := Run(cfgStream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rDA.TotalTime < rHO.TotalTime {
+		t.Fatalf("hybrid data-aware (%.1fs) should not beat staging holistic (%.1fs)",
+			rDA.TotalTime, rHO.TotalTime)
+	}
+}
+
+func TestS3DLowerBoundProximity(t *testing.T) {
+	// Paper: staging within 5.1% of lower bound on Smoky (3.6% Titan).
+	m := machine.Titan(40)
+	app := s3d.Model()
+	const nSim, steps = 512, 20
+	nAna := nSim / s3d.WritersPerReader
+	spec := buildS3DSpec(m, nSim, nAna)
+	ta, err := placement.TopologyAware(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(Config{App: app, Place: ta, Steps: steps, Async: true,
+		Batching: true, WritersPerReader: s3d.WritersPerReader, PacingFraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := SoloTime(app, 1, steps)
+	gap := r.TotalTime/lb - 1
+	if gap < 0 || gap > 0.08 {
+		t.Fatalf("gap to lower bound = %.1f%%, want <=8%% (paper: 3.6-5.1%%)", gap*100)
+	}
+	// Staging uses <1% extra resources (paper: 0.78%).
+	extra := float64(r.NodesUsed)/float64((nSim+m.Node.Cores-1)/m.Node.Cores) - 1
+	if extra > 0.05 {
+		t.Fatalf("staging extra resources = %.2f%%, want ~1%%", extra*100)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("nil placement must error")
+	}
+}
+
+func TestSoloTimeScalesWithSteps(t *testing.T) {
+	app := gtsApp()
+	if SoloTime(app, 4, 10) != 10*app.SimComputePerInterval(4) {
+		t.Fatal("solo time must be steps x interval")
+	}
+}
+
+func TestOfflinePlacementSlowest(t *testing.T) {
+	// Offline placement (Figure 1's rightmost option): everything through
+	// the file system, analytics afterwards. It must be the slowest
+	// option for GTS — the motivation for online analytics.
+	m := machine.Smoky(16)
+	app := gtsApp()
+	const nSim, steps = 32, 10
+
+	offSpec := buildGTSSpecNoAna(m, nSim, 4)
+	off := &placement.Placement{
+		Spec:    offSpec,
+		Policy:  "offline",
+		SimCore: make([]int, nSim),
+		AnaCore: nil,
+	}
+	perNode := m.Node.Cores / 4
+	for i := 0; i < nSim; i++ {
+		off.SimCore[i] = (i/perNode)*m.Node.Cores + (i%perNode)*4
+	}
+	rOff, err := Run(Config{App: app, Place: off, Steps: steps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rOff.Kind != placement.Offline {
+		t.Fatalf("kind = %v, want offline", rOff.Kind)
+	}
+
+	hcSpec := buildGTSSpec(m, nSim, 3)
+	hc, err := placement.TopologyAware(hcSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rHC, err := Run(Config{App: app, Place: hc, Steps: steps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rOff.TotalTime <= rHC.TotalTime {
+		t.Fatalf("offline (%.1fs) must be slower than helper-core (%.1fs)",
+			rOff.TotalTime, rHC.TotalTime)
+	}
+	// 110 MB/proc through a shared FS must show substantial visible I/O.
+	if rOff.Phases.SimVisIO < 0.1 {
+		t.Fatalf("offline visible I/O %.3fs implausibly small", rOff.Phases.SimVisIO)
+	}
+}
+
+func buildGTSSpecNoAna(m *machine.Machine, nSim, threads int) *placement.Spec {
+	g := graph.New(nSim)
+	for i := 0; i < nSim; i++ {
+		g.AddEdge(i, (i+1)%nSim, 20e6)
+	}
+	return &placement.Spec{Machine: m, NSim: nSim, NAna: 0, SimThreads: threads, Comm: g}
+}

@@ -1,0 +1,299 @@
+package dcplugin
+
+import "fmt"
+
+type opcode uint8
+
+const (
+	opConst opcode = iota // a: const index -> push consts[a]
+	opLoad                // a: var slot -> push
+	opStore               // a: var slot <- pop
+	opIndex               // a: array name const; pops index, pushes arr[idx]
+	opLen                 // a: array name const; pushes len(arr)
+	opAdd
+	opSub
+	opMul
+	opDiv
+	opMod
+	opEq
+	opNe
+	opLt
+	opLe
+	opGt
+	opGe
+	opNeg
+	opNot
+	opBool   // normalize top of stack to 0/1
+	opJmp    // a: target pc
+	opJz     // pops; jump to a if zero
+	opJzKeep // jump to a if top is zero, WITHOUT popping (for &&)
+	opJnzKeep
+	opPop
+	opCall // a: builtin id, b: arg count; pops args, pushes result
+	opHalt
+)
+
+type instr struct {
+	op   opcode
+	a, b int
+}
+
+// Program is a compiled plug-in. Programs are immutable and safe for
+// concurrent Run calls, which matters because one installed plug-in
+// filters every event on a connection.
+type Program struct {
+	Source string
+	code   []instr
+	consts []value
+	nvars  int
+}
+
+// value is the VM's tagged scalar.
+type value struct {
+	num   float64
+	str   string
+	isStr bool
+}
+
+func numV(f float64) value   { return value{num: f} }
+func strV(s string) value    { return value{str: s, isStr: true} }
+func boolV(b bool) value     { return value{num: b2f(b)} }
+func (v value) truthy() bool { return v.isStr && v.str != "" || !v.isStr && v.num != 0 }
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+type compiler struct {
+	code   []instr
+	consts []value
+	slots  map[string]int // scalar variable name -> slot
+}
+
+// Compile parses and compiles plug-in source. Compilation errors carry
+// line information from the lexer/parser.
+func Compile(src string) (*Program, error) {
+	prog, err := parse(src)
+	if err != nil {
+		return nil, err
+	}
+	c := &compiler{slots: make(map[string]int)}
+	for _, s := range prog {
+		if err := c.stmt(s); err != nil {
+			return nil, err
+		}
+	}
+	c.emit(opHalt, 0, 0)
+	return &Program{Source: src, code: c.code, consts: c.consts, nvars: len(c.slots)}, nil
+}
+
+// MustCompile compiles src or panics; for the built-in plug-in library.
+func MustCompile(src string) *Program {
+	p, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (c *compiler) emit(op opcode, a, b int) int {
+	c.code = append(c.code, instr{op, a, b})
+	return len(c.code) - 1
+}
+
+func (c *compiler) constIdx(v value) int {
+	for i, cv := range c.consts {
+		if cv.isStr == v.isStr && cv.num == v.num && cv.str == v.str {
+			return i
+		}
+	}
+	c.consts = append(c.consts, v)
+	return len(c.consts) - 1
+}
+
+func (c *compiler) slot(name string, create bool) (int, error) {
+	if s, ok := c.slots[name]; ok {
+		return s, nil
+	}
+	if !create {
+		return 0, fmt.Errorf("dcplugin: undefined variable %q (assign before use)", name)
+	}
+	s := len(c.slots)
+	c.slots[name] = s
+	return s, nil
+}
+
+func (c *compiler) stmt(s stmt) error {
+	switch st := s.(type) {
+	case assign:
+		if err := c.expr(st.rhs); err != nil {
+			return err
+		}
+		slot, _ := c.slot(st.name, true)
+		c.emit(opStore, slot, 0)
+	case exprStmt:
+		if err := c.expr(st.x); err != nil {
+			return err
+		}
+		c.emit(opPop, 0, 0)
+	case ifStmt:
+		if err := c.expr(st.cond); err != nil {
+			return err
+		}
+		jz := c.emit(opJz, 0, 0)
+		for _, b := range st.then {
+			if err := c.stmt(b); err != nil {
+				return err
+			}
+		}
+		if len(st.elze) == 0 {
+			c.code[jz].a = len(c.code)
+			return nil
+		}
+		jend := c.emit(opJmp, 0, 0)
+		c.code[jz].a = len(c.code)
+		for _, b := range st.elze {
+			if err := c.stmt(b); err != nil {
+				return err
+			}
+		}
+		c.code[jend].a = len(c.code)
+	case forStmt:
+		if st.init != nil {
+			if err := c.stmt(st.init); err != nil {
+				return err
+			}
+		}
+		top := len(c.code)
+		var jz int = -1
+		if st.cond != nil {
+			if err := c.expr(st.cond); err != nil {
+				return err
+			}
+			jz = c.emit(opJz, 0, 0)
+		}
+		for _, b := range st.body {
+			if err := c.stmt(b); err != nil {
+				return err
+			}
+		}
+		if st.post != nil {
+			if err := c.stmt(st.post); err != nil {
+				return err
+			}
+		}
+		c.emit(opJmp, top, 0)
+		if jz >= 0 {
+			c.code[jz].a = len(c.code)
+		}
+	default:
+		return fmt.Errorf("dcplugin: unknown statement %T", s)
+	}
+	return nil
+}
+
+var binOps = map[string]opcode{
+	"+": opAdd, "-": opSub, "*": opMul, "/": opDiv, "%": opMod,
+	"==": opEq, "!=": opNe, "<": opLt, "<=": opLe, ">": opGt, ">=": opGe,
+}
+
+func (c *compiler) expr(e expr) error {
+	switch x := e.(type) {
+	case numLit:
+		c.emit(opConst, c.constIdx(numV(x.v)), 0)
+	case strLit:
+		c.emit(opConst, c.constIdx(strV(x.v)), 0)
+	case varRef:
+		slot, err := c.slot(x.name, false)
+		if err != nil {
+			return err
+		}
+		c.emit(opLoad, slot, 0)
+	case indexRef:
+		if err := c.expr(x.idx); err != nil {
+			return err
+		}
+		c.emit(opIndex, c.constIdx(strV(x.arr)), 0)
+	case unExpr:
+		if err := c.expr(x.x); err != nil {
+			return err
+		}
+		if x.op == "-" {
+			c.emit(opNeg, 0, 0)
+		} else {
+			c.emit(opNot, 0, 0)
+		}
+	case binExpr:
+		switch x.op {
+		case "&&":
+			if err := c.expr(x.l); err != nil {
+				return err
+			}
+			c.emit(opBool, 0, 0)
+			j := c.emit(opJzKeep, 0, 0)
+			c.emit(opPop, 0, 0)
+			if err := c.expr(x.r); err != nil {
+				return err
+			}
+			c.emit(opBool, 0, 0)
+			c.code[j].a = len(c.code)
+		case "||":
+			if err := c.expr(x.l); err != nil {
+				return err
+			}
+			c.emit(opBool, 0, 0)
+			j := c.emit(opJnzKeep, 0, 0)
+			c.emit(opPop, 0, 0)
+			if err := c.expr(x.r); err != nil {
+				return err
+			}
+			c.emit(opBool, 0, 0)
+			c.code[j].a = len(c.code)
+		default:
+			op, ok := binOps[x.op]
+			if !ok {
+				return fmt.Errorf("dcplugin: unknown operator %q", x.op)
+			}
+			if err := c.expr(x.l); err != nil {
+				return err
+			}
+			if err := c.expr(x.r); err != nil {
+				return err
+			}
+			c.emit(op, 0, 0)
+		}
+	case call:
+		// len(arr) compiles to a dedicated opcode when the argument is a
+		// bare array name.
+		if x.name == "len" {
+			if len(x.args) != 1 {
+				return fmt.Errorf("dcplugin: len wants 1 argument")
+			}
+			if vr, ok := x.args[0].(varRef); ok {
+				c.emit(opLen, c.constIdx(strV(vr.name)), 0)
+				return nil
+			}
+			return fmt.Errorf("dcplugin: len wants an array name")
+		}
+		b, ok := builtinsByName[x.name]
+		if !ok {
+			return fmt.Errorf("dcplugin: unknown function %q", x.name)
+		}
+		if len(x.args) < b.minArgs || len(x.args) > b.maxArgs {
+			return fmt.Errorf("dcplugin: %s wants %d..%d arguments, got %d",
+				x.name, b.minArgs, b.maxArgs, len(x.args))
+		}
+		for _, a := range x.args {
+			if err := c.expr(a); err != nil {
+				return err
+			}
+		}
+		c.emit(opCall, b.id, len(x.args))
+	default:
+		return fmt.Errorf("dcplugin: unknown expression %T", e)
+	}
+	return nil
+}

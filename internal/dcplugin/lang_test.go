@@ -1,0 +1,351 @@
+package dcplugin
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// evalExpr runs `result = <expr>;` and returns the value of result via
+// out-meta.
+func evalExpr(t *testing.T, exprSrc string, env *Env) float64 {
+	t.Helper()
+	prog, err := Compile("set(\"result\", " + exprSrc + ");")
+	if err != nil {
+		t.Fatalf("compile %q: %v", exprSrc, err)
+	}
+	if env == nil {
+		env = NewEnv(nil, nil)
+	}
+	if err := prog.Run(env, 0); err != nil {
+		t.Fatalf("run %q: %v", exprSrc, err)
+	}
+	v, ok := env.OutMeta["result"].(float64)
+	if !ok {
+		t.Fatalf("no numeric result for %q", exprSrc)
+	}
+	return v
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := map[string]float64{
+		"1 + 2 * 3":         7,
+		"(1 + 2) * 3":       9,
+		"10 / 4":            2.5,
+		"7 % 3":             1,
+		"-5 + 2":            -3,
+		"2 * -3":            -6,
+		"1.5e2 + 0.5":       150.5,
+		"min(3, 2) + 1":     3,
+		"max(3, 2)":         3,
+		"abs(-4)":           4,
+		"sqrt(16)":          4,
+		"floor(2.9)":        2,
+		"ceil(2.1)":         3,
+		"pow(2, 10)":        1024,
+		"exp(0)":            1,
+		"log(1)":            0,
+		"1 < 2":             1,
+		"2 <= 1":            0,
+		"3 > 2":             1,
+		"3 >= 4":            0,
+		"1 == 1":            1,
+		"1 != 1":            0,
+		"1 && 0":            0,
+		"1 && 2":            1,
+		"0 || 3":            1,
+		"0 || 0":            0,
+		"!0":                1,
+		"!5":                0,
+		"1 < 2 && 3 < 4":    1,
+		"1 + 1 == 2 || 0/0": 1, // short-circuit: 0/0 never evaluated
+	}
+	for src, want := range cases {
+		if got := evalExpr(t, src, nil); got != want {
+			t.Errorf("%q = %g, want %g", src, got, want)
+		}
+	}
+}
+
+func TestShortCircuitAnd(t *testing.T) {
+	// 0 && (1/0) must not divide by zero.
+	if got := evalExpr(t, "0 && 1/0", nil); got != 0 {
+		t.Fatalf("short-circuit and = %g", got)
+	}
+}
+
+func TestVariablesAndLoops(t *testing.T) {
+	prog := MustCompile(`
+		sum = 0;
+		i = 1;
+		for (; i <= 100; i = i + 1) {
+			sum = sum + i;
+		}
+		set("sum", sum);
+	`)
+	env := NewEnv(nil, nil)
+	if err := prog.Run(env, 0); err != nil {
+		t.Fatal(err)
+	}
+	if env.OutMeta["sum"] != float64(5050) {
+		t.Fatalf("sum = %v", env.OutMeta["sum"])
+	}
+}
+
+func TestForWithInitAndPost(t *testing.T) {
+	prog := MustCompile(`
+		n = 0;
+		for (i = 0; i < 10; i = i + 2) { n = n + 1; }
+		set("n", n);
+	`)
+	env := NewEnv(nil, nil)
+	if err := prog.Run(env, 0); err != nil {
+		t.Fatal(err)
+	}
+	if env.OutMeta["n"] != float64(5) {
+		t.Fatalf("n = %v", env.OutMeta["n"])
+	}
+}
+
+func TestIfElseChain(t *testing.T) {
+	prog := MustCompile(`
+		x = get("x");
+		if (x < 0) { setstr("sign", "neg"); }
+		else if (x == 0) { setstr("sign", "zero"); }
+		else { setstr("sign", "pos"); }
+	`)
+	for x, want := range map[float64]string{-3: "neg", 0: "zero", 9: "pos"} {
+		env := NewEnv(nil, map[string]any{"x": x})
+		if err := prog.Run(env, 0); err != nil {
+			t.Fatal(err)
+		}
+		if env.OutMeta["sign"] != want {
+			t.Errorf("x=%g: sign = %v, want %s", x, env.OutMeta["sign"], want)
+		}
+	}
+}
+
+func TestVarKeyword(t *testing.T) {
+	prog := MustCompile(`
+		var x = 5;
+		var y;
+		set("x", x);
+		set("y", y);
+	`)
+	env := NewEnv(nil, nil)
+	if err := prog.Run(env, 0); err != nil {
+		t.Fatal(err)
+	}
+	if env.OutMeta["x"] != float64(5) || env.OutMeta["y"] != float64(0) {
+		t.Fatalf("x=%v y=%v", env.OutMeta["x"], env.OutMeta["y"])
+	}
+}
+
+func TestArrayAccess(t *testing.T) {
+	prog := MustCompile(`
+		set("len", len(data));
+		set("first", data[0]);
+		set("last", data[len(data) - 1]);
+	`)
+	env := NewEnv([]float64{10, 20, 30}, nil)
+	if err := prog.Run(env, 0); err != nil {
+		t.Fatal(err)
+	}
+	if env.OutMeta["len"] != float64(3) || env.OutMeta["first"] != float64(10) || env.OutMeta["last"] != float64(30) {
+		t.Fatalf("outmeta = %v", env.OutMeta)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want error
+		data []float64
+	}{
+		{"x = data[5];", ErrBadIndex, []float64{1}},
+		{"x = data[0-1];", ErrBadIndex, []float64{1}},
+		{"x = nope[0];", ErrNoArray, nil},
+		{"x = len(nope);", ErrNoArray, nil},
+		{"x = 1/0;", ErrDivideZero, nil},
+		{"x = 1%0;", ErrDivideZero, nil},
+		{`x = get("missing");`, ErrNoMeta, nil},
+		{`x = getstr("missing");`, ErrNoMeta, nil},
+		{`x = "a" + "b";`, ErrTypeClash, nil},
+		{`x = sqrt("s");`, ErrTypeClash, nil},
+		{`for (;;) { x = 1; }`, ErrStepLimit, nil},
+	}
+	for _, c := range cases {
+		prog, err := Compile(c.src)
+		if err != nil {
+			t.Errorf("%q failed to compile: %v", c.src, err)
+			continue
+		}
+		env := NewEnv(c.data, nil)
+		steps := 0
+		if errors.Is(c.want, ErrStepLimit) {
+			steps = 10000
+		}
+		if err := prog.Run(env, steps); !errors.Is(err, c.want) {
+			t.Errorf("%q: err = %v, want %v", c.src, err, c.want)
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []string{
+		"x = ;",
+		"if x > 1 { }", // missing parens
+		"x = y;",       // undefined variable
+		"x = unknownfn(1);",
+		"x = len(1+2);",          // len wants array name
+		"x = min(1);",            // arity
+		"for (i = 0; i < 3) { }", // missing clause
+		"x = 1",                  // missing semicolon
+		"{ x = 1; }",             // stray block
+		`x = "unterminated`,
+		"x = 3..4;",
+		"x = $;",
+		"/* unterminated",
+	}
+	for _, src := range cases {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("%q compiled but should not", src)
+		}
+	}
+}
+
+func TestStringMetaOps(t *testing.T) {
+	prog := MustCompile(`
+		if (getstr("species") == "OH") { set("match", 1); }
+		setstr("note", "checked");
+	`)
+	env := NewEnv(nil, map[string]any{"species": "OH"})
+	if err := prog.Run(env, 0); err != nil {
+		t.Fatal(err)
+	}
+	if env.OutMeta["match"] != float64(1) || env.OutMeta["note"] != "checked" {
+		t.Fatalf("outmeta = %v", env.OutMeta)
+	}
+}
+
+func TestMetaNumericKinds(t *testing.T) {
+	prog := MustCompile(`set("v", get("k"));`)
+	for _, v := range []any{int64(7), uint64(7), 7, 7.0, true} {
+		env := NewEnv(nil, map[string]any{"k": v})
+		if err := prog.Run(env, 0); err != nil {
+			t.Fatalf("%T: %v", v, err)
+		}
+		want := 7.0
+		if _, isBool := v.(bool); isBool {
+			want = 1.0
+		}
+		if env.OutMeta["v"] != want {
+			t.Fatalf("%T: got %v", v, env.OutMeta["v"])
+		}
+	}
+}
+
+func TestHasBuiltin(t *testing.T) {
+	if got := evalExpr(t, `has("x")`, NewEnv(nil, map[string]any{"x": 1.0})); got != 1 {
+		t.Error("has(existing) should be 1")
+	}
+	if got := evalExpr(t, `has("y")`, nil); got != 0 {
+		t.Error("has(missing) should be 0")
+	}
+}
+
+func TestDropAndPushSemantics(t *testing.T) {
+	env := NewEnv([]float64{1, 2, 3}, nil)
+	MustCompile("drop();").Run(env, 0)
+	if !env.Dropped {
+		t.Fatal("drop() must set Dropped")
+	}
+	env = NewEnv([]float64{1, 2, 3}, nil)
+	MustCompile("push(9);").Run(env, 0)
+	if !env.Pushed || len(env.Out) != 1 || env.Out[0] != 9 {
+		t.Fatalf("push: %+v", env)
+	}
+}
+
+func TestCommentsIgnored(t *testing.T) {
+	prog := MustCompile(`
+		// line comment
+		x = 1; /* block
+		comment */ y = x + 1;
+		set("y", y);
+	`)
+	env := NewEnv(nil, nil)
+	if err := prog.Run(env, 0); err != nil {
+		t.Fatal(err)
+	}
+	if env.OutMeta["y"] != float64(2) {
+		t.Fatalf("y = %v", env.OutMeta["y"])
+	}
+}
+
+func TestProgramConcurrentRuns(t *testing.T) {
+	prog := MustCompile(`
+		s = 0;
+		for (i = 0; i < len(data); i = i + 1) { s = s + data[i]; }
+		set("s", s);
+	`)
+	done := make(chan float64, 8)
+	for g := 0; g < 8; g++ {
+		g := g
+		go func() {
+			data := make([]float64, 100)
+			for i := range data {
+				data[i] = float64(g)
+			}
+			env := NewEnv(data, nil)
+			if err := prog.Run(env, 0); err != nil {
+				done <- math.NaN()
+				return
+			}
+			done <- env.OutMeta["s"].(float64)
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		v := <-done
+		if math.IsNaN(v) {
+			t.Fatal("concurrent run failed")
+		}
+	}
+}
+
+// TestInterpreterMatchesGoProperty cross-checks compiled arithmetic
+// against a Go implementation on random inputs.
+func TestInterpreterMatchesGoProperty(t *testing.T) {
+	prog := MustCompile(`
+		a = get("a");
+		b = get("b");
+		set("r", (a + b) * (a - b) + a / (abs(b) + 1));
+	`)
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		env := NewEnv(nil, map[string]any{"a": a, "b": b})
+		if err := prog.Run(env, 0); err != nil {
+			return false
+		}
+		want := (a+b)*(a-b) + a/(math.Abs(b)+1)
+		got := env.OutMeta["r"].(float64)
+		if math.IsNaN(want) {
+			return math.IsNaN(got)
+		}
+		return got == want || math.Abs(got-want) <= 1e-9*math.Abs(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompileErrorHasLine(t *testing.T) {
+	_, err := Compile("x = 1;\ny = $;\n")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error should carry line info: %v", err)
+	}
+}

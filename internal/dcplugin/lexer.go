@@ -1,0 +1,227 @@
+// Package dcplugin implements FlexIO's Data Conditioning Plug-ins
+// (Section II.F of the paper): stateless mobile codelets created on the
+// reader side to customize writer-side outputs on the fly — data markup,
+// annotation, sampling, bounding boxes, unit conversion, selection.
+//
+// The original system programs plug-ins in a subset of C compiled at
+// runtime by C-on-Demand (CoD) dynamic binary generation. That mechanism
+// does not exist in Go, so this package provides the equivalent: a small
+// C-like expression/statement language with a lexer, recursive-descent +
+// Pratt parser, bytecode compiler, and stack VM. Plug-in *source strings*
+// travel across FlexIO transports and are compiled and installed in the
+// destination process at runtime, which preserves CoD's essential
+// property — code mobility along the I/O path — with identical semantics
+// at this scale.
+//
+// # Language
+//
+// One numeric type (64-bit float, like C doubles which dominate the
+// paper's workloads) plus string literals for metadata operations.
+//
+//	x = expr;                     assignment (variables auto-declare)
+//	data[i]                       read-only input array indexing
+//	if (cond) { ... } else { ... }
+//	for (init; cond; post) { ... }
+//	push(expr);                   append to the output array
+//	drop();                       discard the event entirely
+//	set("name", expr);            set numeric output metadata
+//	setstr("name", "value");      set string output metadata
+//	get("name"), getstr("name")   read input metadata
+//	len(arr), abs, sqrt, floor, ceil, min, max, pow
+//
+// After execution: a drop() wins; otherwise, if any push() occurred the
+// output data is the pushed values, else the input passes through
+// unchanged. Execution is bounded by a step limit, making foreign
+// codelets safe to host.
+package dcplugin
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokNumber
+	tokString
+	tokIdent
+	tokPunct // operators and delimiters
+	tokKeyword
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  float64
+	pos  int // byte offset, for errors
+	line int
+}
+
+var keywords = map[string]bool{
+	"if": true, "else": true, "for": true, "var": true,
+}
+
+// lexer converts plug-in source into tokens.
+type lexer struct {
+	src    string
+	pos    int
+	line   int
+	tokens []token
+}
+
+// lex tokenizes src.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				return nil, l.errf("unterminated block comment")
+			}
+			l.line += strings.Count(l.src[l.pos:l.pos+2+end+2], "\n")
+			l.pos += 2 + end + 2
+		case isDigit(c) || (c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		case c == '"':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case isIdentStart(c):
+			l.lexIdent()
+		default:
+			if err := l.lexPunct(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	l.tokens = append(l.tokens, token{kind: tokEOF, pos: l.pos, line: l.line})
+	return l.tokens, nil
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("dcplugin: line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	seenDot, seenExp := false, false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case isDigit(c):
+			l.pos++
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			l.pos++
+		case (c == 'e' || c == 'E') && !seenExp && l.pos > start:
+			seenExp = true
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	text := l.src[start:l.pos]
+	v, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return l.errf("bad number %q", text)
+	}
+	l.tokens = append(l.tokens, token{kind: tokNumber, text: text, num: v, pos: start, line: l.line})
+	return nil
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '"' {
+			l.pos++
+			l.tokens = append(l.tokens, token{kind: tokString, text: sb.String(), pos: start, line: l.line})
+			return nil
+		}
+		if c == '\\' && l.pos+1 < len(l.src) {
+			l.pos++
+			switch l.src[l.pos] {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case '"':
+				sb.WriteByte('"')
+			case '\\':
+				sb.WriteByte('\\')
+			default:
+				return l.errf("bad escape \\%c", l.src[l.pos])
+			}
+			l.pos++
+			continue
+		}
+		if c == '\n' {
+			return l.errf("unterminated string")
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return l.errf("unterminated string")
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	kind := tokIdent
+	if keywords[text] {
+		kind = tokKeyword
+	}
+	l.tokens = append(l.tokens, token{kind: kind, text: text, pos: start, line: l.line})
+}
+
+var twoCharOps = map[string]bool{
+	"==": true, "!=": true, "<=": true, ">=": true, "&&": true, "||": true,
+}
+
+func (l *lexer) lexPunct() error {
+	if l.pos+1 < len(l.src) {
+		two := l.src[l.pos : l.pos+2]
+		if twoCharOps[two] {
+			l.tokens = append(l.tokens, token{kind: tokPunct, text: two, pos: l.pos, line: l.line})
+			l.pos += 2
+			return nil
+		}
+	}
+	c := l.src[l.pos]
+	if strings.ContainsRune("+-*/%<>!=(){}[];,", rune(c)) {
+		l.tokens = append(l.tokens, token{kind: tokPunct, text: string(c), pos: l.pos, line: l.line})
+		l.pos++
+		return nil
+	}
+	return l.errf("unexpected character %q", c)
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || unicode.IsLetter(rune(c)) }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) }

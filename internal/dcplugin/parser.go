@@ -1,0 +1,347 @@
+package dcplugin
+
+import "fmt"
+
+// AST node types.
+type (
+	// expressions
+	numLit   struct{ v float64 }
+	strLit   struct{ v string }
+	varRef   struct{ name string }
+	indexRef struct {
+		arr string
+		idx expr
+	}
+	call struct {
+		name string
+		args []expr
+	}
+	unExpr struct {
+		op string
+		x  expr
+	}
+	binExpr struct {
+		op   string
+		l, r expr
+	}
+
+	// statements
+	assign struct {
+		name string
+		rhs  expr
+	}
+	exprStmt struct{ x expr }
+	ifStmt   struct {
+		cond       expr
+		then, elze []stmt
+	}
+	forStmt struct {
+		init stmt // may be nil
+		cond expr // may be nil (infinite, bounded by step limit)
+		post stmt // may be nil
+		body []stmt
+	}
+)
+
+type expr any
+type stmt any
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// parse builds the statement list for a program.
+func parse(src string) ([]stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var prog []stmt
+	for !p.at(tokEOF, "") {
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		prog = append(prog, s)
+	}
+	return prog, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	t := p.cur()
+	what := text
+	if what == "" {
+		what = fmt.Sprintf("token kind %d", kind)
+	}
+	return token{}, fmt.Errorf("dcplugin: line %d: expected %q, found %q", t.line, what, t.text)
+}
+
+func (p *parser) statement() (stmt, error) {
+	switch {
+	case p.accept(tokKeyword, "if"):
+		return p.ifStatement()
+	case p.accept(tokKeyword, "for"):
+		return p.forStatement()
+	case p.accept(tokKeyword, "var"):
+		// `var x;` or `var x = expr;` — variables auto-declare on
+		// assignment anyway; var is accepted for C-ish style.
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		var rhs expr = numLit{0}
+		if p.accept(tokPunct, "=") {
+			rhs, err = p.expression()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return assign{name: name.text, rhs: rhs}, nil
+	}
+	return p.simpleStatement(true)
+}
+
+// simpleStatement parses an assignment or expression statement.
+// wantSemi controls the trailing ';' (for-loop clauses omit it).
+func (p *parser) simpleStatement(wantSemi bool) (stmt, error) {
+	// Lookahead for `ident = ...` (assignment) vs. expression.
+	var s stmt
+	if p.at(tokIdent, "") && p.toks[p.pos+1].kind == tokPunct && p.toks[p.pos+1].text == "=" {
+		name := p.next()
+		p.next() // '='
+		rhs, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		s = assign{name: name.text, rhs: rhs}
+	} else {
+		x, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		s = exprStmt{x: x}
+	}
+	if wantSemi {
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) ifStatement() (stmt, error) {
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	var elze []stmt
+	if p.accept(tokKeyword, "else") {
+		if p.accept(tokKeyword, "if") {
+			nested, err := p.ifStatement()
+			if err != nil {
+				return nil, err
+			}
+			elze = []stmt{nested}
+		} else {
+			elze, err = p.block()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return ifStmt{cond: cond, then: then, elze: elze}, nil
+}
+
+func (p *parser) forStatement() (stmt, error) {
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	var init, post stmt
+	var cond expr
+	var err error
+	if !p.at(tokPunct, ";") {
+		init, err = p.simpleStatement(false)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	if !p.at(tokPunct, ";") {
+		cond, err = p.expression()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	if !p.at(tokPunct, ")") {
+		post, err = p.simpleStatement(false)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return forStmt{init: init, cond: cond, post: post, body: body}, nil
+}
+
+func (p *parser) block() ([]stmt, error) {
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	var out []stmt
+	for !p.accept(tokPunct, "}") {
+		if p.at(tokEOF, "") {
+			return nil, fmt.Errorf("dcplugin: unexpected EOF inside block")
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Pratt expression parsing.
+var binPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"==": 3, "!=": 3,
+	"<": 4, "<=": 4, ">": 4, ">=": 4,
+	"+": 5, "-": 5,
+	"*": 6, "/": 6, "%": 6,
+}
+
+func (p *parser) expression() (expr, error) { return p.binaryExpr(0) }
+
+func (p *parser) binaryExpr(minPrec int) (expr, error) {
+	lhs, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		prec, isOp := binPrec[t.text]
+		if t.kind != tokPunct || !isOp || prec < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.binaryExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = binExpr{op: t.text, l: lhs, r: rhs}
+	}
+}
+
+func (p *parser) unaryExpr() (expr, error) {
+	if p.accept(tokPunct, "-") {
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return unExpr{op: "-", x: x}, nil
+	}
+	if p.accept(tokPunct, "!") {
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return unExpr{op: "!", x: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNumber:
+		return numLit{t.num}, nil
+	case tokString:
+		return strLit{t.text}, nil
+	case tokIdent:
+		switch {
+		case p.accept(tokPunct, "("):
+			var args []expr
+			for !p.accept(tokPunct, ")") {
+				if len(args) > 0 {
+					if _, err := p.expect(tokPunct, ","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.expression()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+			}
+			return call{name: t.text, args: args}, nil
+		case p.accept(tokPunct, "["):
+			idx, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+			return indexRef{arr: t.text, idx: idx}, nil
+		default:
+			return varRef{t.text}, nil
+		}
+	case tokPunct:
+		if t.text == "(" {
+			x, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			return x, nil
+		}
+	}
+	return nil, fmt.Errorf("dcplugin: line %d: unexpected token %q", t.line, t.text)
+}

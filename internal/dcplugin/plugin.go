@@ -1,0 +1,175 @@
+package dcplugin
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"flexio/internal/evpath"
+)
+
+// Plugin pairs a name with mobile source code. Plugins are specified as
+// parameters to FlexIO read calls (reader side) and may be deployed into
+// the writer's address space at runtime; only the source string travels.
+type Plugin struct {
+	Name   string
+	Source string
+}
+
+// Filter compiles the plug-in and wraps it as an EVPath filter function
+// operating on events whose payload is a packed little-endian []float64 —
+// the layout of every array FlexIO's applications emit (both GTS particle
+// attributes and S3D species fields are doubles).
+//
+// Event semantics: drop() discards the event; push()es replace the
+// payload; set()/setstr() fields are merged into the event metadata, with
+// "dc.<plugin>" stamped to mark the conditioning (data markup).
+func (p Plugin) Filter() (evpath.FilterFunc, error) {
+	prog, err := Compile(p.Source)
+	if err != nil {
+		return nil, fmt.Errorf("dcplugin: compiling %q: %w", p.Name, err)
+	}
+	name := p.Name
+	return func(ev *evpath.Event) (*evpath.Event, error) {
+		data := BytesToFloats(ev.Data)
+		meta := map[string]any(ev.Meta)
+		env := NewEnv(data, meta)
+		if err := prog.Run(env, 0); err != nil {
+			return nil, fmt.Errorf("dcplugin: running %q: %w", name, err)
+		}
+		if env.Dropped {
+			return nil, nil
+		}
+		out := &evpath.Event{Meta: evpath.Record{}, Data: ev.Data}
+		for k, v := range ev.Meta {
+			out.Meta[k] = v
+		}
+		for k, v := range env.OutMeta {
+			out.Meta[k] = v
+		}
+		if env.Pushed {
+			out.Data = FloatsToBytes(env.Out)
+			out.Meta["dc.elements"] = int64(len(env.Out))
+		}
+		out.Meta["dc.plugin"] = name
+		return out, nil
+	}, nil
+}
+
+// BytesToFloats reinterprets a little-endian packed float64 payload.
+// Trailing bytes that do not fill a float are ignored.
+func BytesToFloats(b []byte) []float64 {
+	n := len(b) / 8
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out
+}
+
+// FloatsToBytes packs floats little-endian.
+func FloatsToBytes(fs []float64) []byte {
+	out := make([]byte, len(fs)*8)
+	for i, f := range fs {
+		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(f))
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Built-in plug-in library: the conditioning operations Section II.F
+// names as "useful examples" — sampling, bounding box, unit conversion,
+// selection, annotation. Each is a source template so it still exercises
+// the full compile-at-destination path.
+
+// SamplePlugin keeps every k-th element of the payload.
+func SamplePlugin(k int) Plugin {
+	return Plugin{
+		Name: fmt.Sprintf("sample-1of%d", k),
+		Source: fmt.Sprintf(`
+			// keep every %d-th element
+			i = 0;
+			for (; i < len(data); i = i + %d) {
+				push(data[i]);
+			}
+			set("dc.sample_stride", %d);
+		`, k, k, k),
+	}
+}
+
+// SelectRangePlugin keeps records (of `stride` consecutive values) whose
+// attribute at offset attr lies in [lo, hi) — the paper's range query on
+// particle velocity, preserving whole particles.
+func SelectRangePlugin(stride, attr int, lo, hi float64) Plugin {
+	return Plugin{
+		Name: "select-range",
+		Source: fmt.Sprintf(`
+			i = 0;
+			for (; i + %d <= len(data); i = i + %d) {
+				v = data[i + %d];
+				if (v >= %g && v < %g) {
+					j = 0;
+					for (; j < %d; j = j + 1) {
+						push(data[i + j]);
+					}
+				}
+			}
+		`, stride, stride, attr, lo, hi, stride),
+	}
+}
+
+// BoundingBoxPlugin annotates the event with the min/max of the payload
+// (a 1-D bounding box; fields dc.bbox_min / dc.bbox_max).
+func BoundingBoxPlugin() Plugin {
+	return Plugin{
+		Name: "bounding-box",
+		Source: `
+			if (len(data) > 0) {
+				lo = data[0];
+				hi = data[0];
+				i = 1;
+				for (; i < len(data); i = i + 1) {
+					lo = min(lo, data[i]);
+					hi = max(hi, data[i]);
+				}
+				set("dc.bbox_min", lo);
+				set("dc.bbox_max", hi);
+			}
+		`,
+	}
+}
+
+// UnitConvertPlugin multiplies every element by factor (e.g. cm -> m).
+func UnitConvertPlugin(factor float64) Plugin {
+	return Plugin{
+		Name: "unit-convert",
+		Source: fmt.Sprintf(`
+			i = 0;
+			for (; i < len(data); i = i + 1) {
+				push(data[i] * %g);
+			}
+			set("dc.unit_factor", %g);
+		`, factor, factor),
+	}
+}
+
+// AnnotatePlugin stamps a string marker onto events (data markup).
+func AnnotatePlugin(key, val string) Plugin {
+	return Plugin{
+		Name:   "annotate",
+		Source: fmt.Sprintf(`setstr(%q, %q);`, key, val),
+	}
+}
+
+// MinStepPlugin drops events below a timestep threshold (temporal
+// selection driven by metadata).
+func MinStepPlugin(minStep int64) Plugin {
+	return Plugin{
+		Name: "min-step",
+		Source: fmt.Sprintf(`
+			if (has("step") && get("step") < %d) {
+				drop();
+			}
+		`, minStep),
+	}
+}

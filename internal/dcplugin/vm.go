@@ -1,0 +1,375 @@
+package dcplugin
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Execution errors.
+var (
+	ErrStepLimit  = errors.New("dcplugin: step limit exceeded")
+	ErrBadIndex   = errors.New("dcplugin: array index out of range")
+	ErrNoArray    = errors.New("dcplugin: unknown input array")
+	ErrTypeClash  = errors.New("dcplugin: type mismatch")
+	ErrNoMeta     = errors.New("dcplugin: missing metadata field")
+	ErrDivideZero = errors.New("dcplugin: division by zero")
+)
+
+// DefaultMaxSteps bounds a single Run; plug-ins are "typically lightweight
+// in terms of compute" (Section II.F), so a generous bound catches only
+// runaway codelets.
+const DefaultMaxSteps = 50_000_000
+
+// Env is a plug-in's execution environment: the event being conditioned.
+type Env struct {
+	// In holds named read-only input arrays; FlexIO installs the event
+	// payload as "data".
+	In map[string][]float64
+	// Meta holds input metadata (numeric and string fields).
+	Meta map[string]any
+	// Out receives values appended by push(); if non-empty after Run, it
+	// replaces the event payload.
+	Out []float64
+	// OutMeta receives set()/setstr() fields, merged over the event's
+	// metadata (annotation/markup).
+	OutMeta map[string]any
+	// Dropped is set by drop(): discard the event entirely.
+	Dropped bool
+	// Pushed records whether push() was called (distinguishes "plug-in
+	// produced an empty selection" from "plug-in did not transform").
+	Pushed bool
+}
+
+// NewEnv builds an environment around a payload array and metadata.
+func NewEnv(data []float64, meta map[string]any) *Env {
+	if meta == nil {
+		meta = map[string]any{}
+	}
+	return &Env{
+		In:      map[string][]float64{"data": data},
+		Meta:    meta,
+		OutMeta: map[string]any{},
+	}
+}
+
+type builtin struct {
+	id      int
+	name    string
+	minArgs int
+	maxArgs int
+	fn      func(env *Env, args []value) (value, error)
+}
+
+var builtinTable []*builtin
+var builtinsByName = map[string]*builtin{}
+
+func registerBuiltin(name string, minA, maxA int, fn func(*Env, []value) (value, error)) {
+	b := &builtin{id: len(builtinTable), name: name, minArgs: minA, maxArgs: maxA, fn: fn}
+	builtinTable = append(builtinTable, b)
+	builtinsByName[name] = b
+}
+
+func wantNum(v value) (float64, error) {
+	if v.isStr {
+		return 0, fmt.Errorf("%w: want number, have string %q", ErrTypeClash, v.str)
+	}
+	return v.num, nil
+}
+
+func wantStr(v value) (string, error) {
+	if !v.isStr {
+		return "", fmt.Errorf("%w: want string, have number %g", ErrTypeClash, v.num)
+	}
+	return v.str, nil
+}
+
+func init() {
+	num1 := func(f func(float64) float64) func(*Env, []value) (value, error) {
+		return func(_ *Env, a []value) (value, error) {
+			x, err := wantNum(a[0])
+			if err != nil {
+				return value{}, err
+			}
+			return numV(f(x)), nil
+		}
+	}
+	registerBuiltin("abs", 1, 1, num1(math.Abs))
+	registerBuiltin("sqrt", 1, 1, num1(math.Sqrt))
+	registerBuiltin("floor", 1, 1, num1(math.Floor))
+	registerBuiltin("ceil", 1, 1, num1(math.Ceil))
+	registerBuiltin("exp", 1, 1, num1(math.Exp))
+	registerBuiltin("log", 1, 1, num1(math.Log))
+	registerBuiltin("min", 2, 2, func(_ *Env, a []value) (value, error) {
+		x, err := wantNum(a[0])
+		if err != nil {
+			return value{}, err
+		}
+		y, err := wantNum(a[1])
+		if err != nil {
+			return value{}, err
+		}
+		return numV(math.Min(x, y)), nil
+	})
+	registerBuiltin("max", 2, 2, func(_ *Env, a []value) (value, error) {
+		x, err := wantNum(a[0])
+		if err != nil {
+			return value{}, err
+		}
+		y, err := wantNum(a[1])
+		if err != nil {
+			return value{}, err
+		}
+		return numV(math.Max(x, y)), nil
+	})
+	registerBuiltin("pow", 2, 2, func(_ *Env, a []value) (value, error) {
+		x, err := wantNum(a[0])
+		if err != nil {
+			return value{}, err
+		}
+		y, err := wantNum(a[1])
+		if err != nil {
+			return value{}, err
+		}
+		return numV(math.Pow(x, y)), nil
+	})
+	registerBuiltin("push", 1, 1, func(env *Env, a []value) (value, error) {
+		x, err := wantNum(a[0])
+		if err != nil {
+			return value{}, err
+		}
+		env.Out = append(env.Out, x)
+		env.Pushed = true
+		return numV(0), nil
+	})
+	registerBuiltin("drop", 0, 0, func(env *Env, _ []value) (value, error) {
+		env.Dropped = true
+		return numV(0), nil
+	})
+	registerBuiltin("get", 1, 1, func(env *Env, a []value) (value, error) {
+		name, err := wantStr(a[0])
+		if err != nil {
+			return value{}, err
+		}
+		v, ok := env.Meta[name]
+		if !ok {
+			return value{}, fmt.Errorf("%w: %q", ErrNoMeta, name)
+		}
+		switch n := v.(type) {
+		case float64:
+			return numV(n), nil
+		case int64:
+			return numV(float64(n)), nil
+		case uint64:
+			return numV(float64(n)), nil
+		case int:
+			return numV(float64(n)), nil
+		case bool:
+			return boolV(n), nil
+		}
+		return value{}, fmt.Errorf("%w: %q is not numeric", ErrTypeClash, name)
+	})
+	registerBuiltin("getstr", 1, 1, func(env *Env, a []value) (value, error) {
+		name, err := wantStr(a[0])
+		if err != nil {
+			return value{}, err
+		}
+		v, ok := env.Meta[name]
+		if !ok {
+			return value{}, fmt.Errorf("%w: %q", ErrNoMeta, name)
+		}
+		s, ok := v.(string)
+		if !ok {
+			return value{}, fmt.Errorf("%w: %q is not a string", ErrTypeClash, name)
+		}
+		return strV(s), nil
+	})
+	registerBuiltin("has", 1, 1, func(env *Env, a []value) (value, error) {
+		name, err := wantStr(a[0])
+		if err != nil {
+			return value{}, err
+		}
+		_, ok := env.Meta[name]
+		return boolV(ok), nil
+	})
+	registerBuiltin("set", 2, 2, func(env *Env, a []value) (value, error) {
+		name, err := wantStr(a[0])
+		if err != nil {
+			return value{}, err
+		}
+		x, err := wantNum(a[1])
+		if err != nil {
+			return value{}, err
+		}
+		env.OutMeta[name] = x
+		return numV(0), nil
+	})
+	registerBuiltin("setstr", 2, 2, func(env *Env, a []value) (value, error) {
+		name, err := wantStr(a[0])
+		if err != nil {
+			return value{}, err
+		}
+		s, err := wantStr(a[1])
+		if err != nil {
+			return value{}, err
+		}
+		env.OutMeta[name] = s
+		return numV(0), nil
+	})
+}
+
+// Run executes the program against env, bounded by maxSteps (0 uses
+// DefaultMaxSteps).
+func (p *Program) Run(env *Env, maxSteps int) error {
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	vars := make([]value, p.nvars)
+	stack := make([]value, 0, 32)
+	pop := func() value {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return v
+	}
+	steps := 0
+	for pc := 0; pc < len(p.code); {
+		steps++
+		if steps > maxSteps {
+			return ErrStepLimit
+		}
+		in := p.code[pc]
+		switch in.op {
+		case opConst:
+			stack = append(stack, p.consts[in.a])
+		case opLoad:
+			stack = append(stack, vars[in.a])
+		case opStore:
+			vars[in.a] = pop()
+		case opIndex:
+			idx, err := wantNum(pop())
+			if err != nil {
+				return err
+			}
+			name := p.consts[in.a].str
+			arr, ok := env.In[name]
+			if !ok {
+				return fmt.Errorf("%w: %q", ErrNoArray, name)
+			}
+			i := int(idx)
+			if i < 0 || i >= len(arr) {
+				return fmt.Errorf("%w: %s[%d] of %d", ErrBadIndex, name, i, len(arr))
+			}
+			stack = append(stack, numV(arr[i]))
+		case opLen:
+			name := p.consts[in.a].str
+			arr, ok := env.In[name]
+			if !ok {
+				return fmt.Errorf("%w: %q", ErrNoArray, name)
+			}
+			stack = append(stack, numV(float64(len(arr))))
+		case opAdd, opSub, opMul, opDiv, opMod,
+			opEq, opNe, opLt, opLe, opGt, opGe:
+			r := pop()
+			l := pop()
+			v, err := binOp(in.op, l, r)
+			if err != nil {
+				return err
+			}
+			stack = append(stack, v)
+		case opNeg:
+			x, err := wantNum(pop())
+			if err != nil {
+				return err
+			}
+			stack = append(stack, numV(-x))
+		case opNot:
+			stack = append(stack, boolV(!pop().truthy()))
+		case opBool:
+			stack[len(stack)-1] = boolV(stack[len(stack)-1].truthy())
+		case opJmp:
+			pc = in.a
+			continue
+		case opJz:
+			if !pop().truthy() {
+				pc = in.a
+				continue
+			}
+		case opJzKeep:
+			if !stack[len(stack)-1].truthy() {
+				pc = in.a
+				continue
+			}
+		case opJnzKeep:
+			if stack[len(stack)-1].truthy() {
+				pc = in.a
+				continue
+			}
+		case opPop:
+			pop()
+		case opCall:
+			b := builtinTable[in.a]
+			args := make([]value, in.b)
+			for i := in.b - 1; i >= 0; i-- {
+				args[i] = pop()
+			}
+			v, err := b.fn(env, args)
+			if err != nil {
+				return err
+			}
+			stack = append(stack, v)
+		case opHalt:
+			return nil
+		default:
+			return fmt.Errorf("dcplugin: bad opcode %d", in.op)
+		}
+		pc++
+	}
+	return nil
+}
+
+func binOp(op opcode, l, r value) (value, error) {
+	// String equality is supported; everything else needs numbers.
+	if l.isStr || r.isStr {
+		if l.isStr && r.isStr {
+			switch op {
+			case opEq:
+				return boolV(l.str == r.str), nil
+			case opNe:
+				return boolV(l.str != r.str), nil
+			}
+		}
+		return value{}, fmt.Errorf("%w: operator on string operand", ErrTypeClash)
+	}
+	a, b := l.num, r.num
+	switch op {
+	case opAdd:
+		return numV(a + b), nil
+	case opSub:
+		return numV(a - b), nil
+	case opMul:
+		return numV(a * b), nil
+	case opDiv:
+		if b == 0 {
+			return value{}, ErrDivideZero
+		}
+		return numV(a / b), nil
+	case opMod:
+		if b == 0 {
+			return value{}, ErrDivideZero
+		}
+		return numV(math.Mod(a, b)), nil
+	case opEq:
+		return boolV(a == b), nil
+	case opNe:
+		return boolV(a != b), nil
+	case opLt:
+		return boolV(a < b), nil
+	case opLe:
+		return boolV(a <= b), nil
+	case opGt:
+		return boolV(a > b), nil
+	case opGe:
+		return boolV(a >= b), nil
+	}
+	return value{}, fmt.Errorf("dcplugin: bad binary opcode %d", op)
+}

@@ -1,0 +1,132 @@
+// Package directory implements FlexIO's external directory server
+// (Section II.C.1): before any data movement, the simulation's elected
+// coordinator registers a stream name with its contact information, and
+// the analytics' coordinator looks the name up to bootstrap the
+// connection. The directory participates only in discovery — never in the
+// data path.
+//
+// Two implementations are provided: Mem, an in-process directory used when
+// simulation and analytics share a process (the common case in this
+// reproduction), and a TCP Server/Client pair with a line-oriented
+// protocol, so the cmd/dirserver binary can serve real multi-process
+// deployments.
+package directory
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Common errors.
+var (
+	ErrNotFound  = errors.New("directory: stream not found")
+	ErrDuplicate = errors.New("directory: stream already registered")
+	ErrTimeout   = errors.New("directory: lookup timed out")
+)
+
+// Directory is the discovery API.
+type Directory interface {
+	// Register binds a stream name to contact information.
+	Register(stream, contact string) error
+	// Lookup resolves a stream name immediately.
+	Lookup(stream string) (string, error)
+	// WaitLookup resolves a stream name, waiting up to timeout for it to
+	// be registered. This covers readers that open a stream before the
+	// writer creates it.
+	WaitLookup(stream string, timeout time.Duration) (string, error)
+	// Unregister removes a binding.
+	Unregister(stream string) error
+}
+
+// Mem is an in-process directory. The zero value is not usable; call
+// NewMem.
+type Mem struct {
+	mu      sync.Mutex
+	entries map[string]string
+	waiters map[string][]chan string
+}
+
+// NewMem creates an empty in-process directory.
+func NewMem() *Mem {
+	return &Mem{
+		entries: make(map[string]string),
+		waiters: make(map[string][]chan string),
+	}
+}
+
+// Register binds stream to contact and wakes pending WaitLookups.
+func (d *Mem) Register(stream, contact string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.entries[stream]; dup {
+		return fmt.Errorf("%w: %q", ErrDuplicate, stream)
+	}
+	d.entries[stream] = contact
+	for _, w := range d.waiters[stream] {
+		w <- contact
+	}
+	delete(d.waiters, stream)
+	return nil
+}
+
+// Lookup resolves stream or returns ErrNotFound.
+func (d *Mem) Lookup(stream string) (string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c, ok := d.entries[stream]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrNotFound, stream)
+	}
+	return c, nil
+}
+
+// WaitLookup resolves stream, blocking up to timeout for registration.
+func (d *Mem) WaitLookup(stream string, timeout time.Duration) (string, error) {
+	d.mu.Lock()
+	if c, ok := d.entries[stream]; ok {
+		d.mu.Unlock()
+		return c, nil
+	}
+	ch := make(chan string, 1)
+	d.waiters[stream] = append(d.waiters[stream], ch)
+	d.mu.Unlock()
+
+	select {
+	case c := <-ch:
+		return c, nil
+	case <-time.After(timeout):
+		// Remove our waiter; tolerate a registration racing the timeout.
+		d.mu.Lock()
+		ws := d.waiters[stream]
+		for i, w := range ws {
+			if w == ch {
+				d.waiters[stream] = append(ws[:i], ws[i+1:]...)
+				break
+			}
+		}
+		d.mu.Unlock()
+		select {
+		case c := <-ch:
+			return c, nil
+		default:
+			return "", fmt.Errorf("%w: %q after %v", ErrTimeout, stream, timeout)
+		}
+	}
+}
+
+// Unregister removes the binding (idempotent).
+func (d *Mem) Unregister(stream string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.entries, stream)
+	return nil
+}
+
+// Len reports the number of registered streams.
+func (d *Mem) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.entries)
+}

@@ -1,0 +1,227 @@
+package directory
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMemRegisterLookup(t *testing.T) {
+	d := NewMem()
+	if err := d.Register("gts.particles", "coord:sim:0"); err != nil {
+		t.Fatal(err)
+	}
+	c, err := d.Lookup("gts.particles")
+	if err != nil || c != "coord:sim:0" {
+		t.Fatalf("Lookup = %q, %v", c, err)
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+}
+
+func TestMemDuplicate(t *testing.T) {
+	d := NewMem()
+	d.Register("s", "a")
+	if err := d.Register("s", "b"); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("err = %v, want ErrDuplicate", err)
+	}
+}
+
+func TestMemNotFound(t *testing.T) {
+	d := NewMem()
+	if _, err := d.Lookup("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestMemUnregisterIdempotent(t *testing.T) {
+	d := NewMem()
+	d.Register("s", "a")
+	if err := d.Unregister("s"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Unregister("s"); err != nil {
+		t.Fatal("second unregister must be a no-op")
+	}
+	if _, err := d.Lookup("s"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("stream must be gone")
+	}
+	// Re-registration allowed.
+	if err := d.Register("s", "b"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemWaitLookupBeforeRegister(t *testing.T) {
+	// The reader-opens-first case: analytics opens the stream before the
+	// simulation creates it.
+	d := NewMem()
+	var got string
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := d.WaitLookup("s", 5*time.Second)
+		if err != nil {
+			t.Errorf("WaitLookup: %v", err)
+			return
+		}
+		got = c
+	}()
+	time.Sleep(10 * time.Millisecond)
+	d.Register("s", "contact")
+	wg.Wait()
+	if got != "contact" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestMemWaitLookupTimeout(t *testing.T) {
+	d := NewMem()
+	start := time.Now()
+	_, err := d.WaitLookup("never", 30*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if time.Since(start) < 30*time.Millisecond {
+		t.Fatal("returned before timeout")
+	}
+	// The dead waiter must not break a later registration.
+	if err := d.Register("never", "c"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemManyWaiters(t *testing.T) {
+	d := NewMem()
+	const n = 10
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := d.WaitLookup("s", 5*time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if c != "x" {
+				errs <- errors.New("wrong contact")
+			}
+		}()
+	}
+	time.Sleep(5 * time.Millisecond)
+	d.Register("s", "x")
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPServerRoundTrip(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", NewMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl := &Client{Addr: srv.Addr()}
+
+	if err := cl.Register("s3d.species", "coord:7"); err != nil {
+		t.Fatal(err)
+	}
+	c, err := cl.Lookup("s3d.species")
+	if err != nil || c != "coord:7" {
+		t.Fatalf("Lookup = %q, %v", c, err)
+	}
+	if err := cl.Register("s3d.species", "other"); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("dup err = %v", err)
+	}
+	if _, err := cl.Lookup("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing err = %v", err)
+	}
+	if err := cl.Unregister("s3d.species"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Lookup("s3d.species"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("entry should be gone")
+	}
+}
+
+func TestTCPWait(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", NewMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl := &Client{Addr: srv.Addr()}
+
+	done := make(chan string, 1)
+	go func() {
+		c, err := cl.WaitLookup("late", 3*time.Second)
+		if err != nil {
+			done <- "ERR:" + err.Error()
+			return
+		}
+		done <- c
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if err := cl.Register("late", "here"); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-done; got != "here" {
+		t.Fatalf("WaitLookup over TCP = %q", got)
+	}
+
+	if _, err := cl.WaitLookup("never", 20*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestTCPBadRequests(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", NewMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for req, wantErr := range map[string]bool{
+		"REG onlyname":  true,
+		"GET":           true,
+		"BOGUS x":       true,
+		"WAIT s notnum": true,
+	} {
+		cl := &Client{Addr: srv.Addr()}
+		_, err := cl.roundTrip(req)
+		if (err != nil) != wantErr {
+			t.Errorf("request %q: err = %v", req, err)
+		}
+	}
+}
+
+func TestTCPConcurrentClients(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", NewMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl := &Client{Addr: srv.Addr()}
+			name := string(rune('a' + i))
+			if err := cl.Register(name, "c"); err != nil {
+				t.Errorf("register %s: %v", name, err)
+			}
+			if _, err := cl.Lookup(name); err != nil {
+				t.Errorf("lookup %s: %v", name, err)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,221 @@
+package directory
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Wire protocol: one request per line, space-separated.
+//
+//	REG <stream> <contact>   -> OK | ERR <reason>
+//	GET <stream>             -> OK <contact> | ERR <reason>
+//	WAIT <stream> <millis>   -> OK <contact> | ERR <reason>
+//	DEL <stream>             -> OK
+//
+// Stream names and contacts must not contain whitespace.
+
+// Server serves a Directory over TCP.
+type Server struct {
+	dir Directory
+	ln  net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// Serve starts a server on addr (e.g. "127.0.0.1:0") backed by dir.
+func Serve(addr string, dir Directory) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{dir: dir, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr reports the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and hangs up active clients.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	sc := bufio.NewScanner(conn)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		resp := s.dispatch(sc.Text())
+		fmt.Fprintln(w, resp)
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(line string) string {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "ERR empty request"
+	}
+	switch fields[0] {
+	case "REG":
+		if len(fields) != 3 {
+			return "ERR REG wants <stream> <contact>"
+		}
+		if err := s.dir.Register(fields[1], fields[2]); err != nil {
+			return "ERR " + err.Error()
+		}
+		return "OK"
+	case "GET":
+		if len(fields) != 2 {
+			return "ERR GET wants <stream>"
+		}
+		c, err := s.dir.Lookup(fields[1])
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		return "OK " + c
+	case "WAIT":
+		if len(fields) != 3 {
+			return "ERR WAIT wants <stream> <millis>"
+		}
+		var ms int
+		if _, err := fmt.Sscanf(fields[2], "%d", &ms); err != nil || ms < 0 {
+			return "ERR bad millis"
+		}
+		c, err := s.dir.WaitLookup(fields[1], time.Duration(ms)*time.Millisecond)
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		return "OK " + c
+	case "DEL":
+		if len(fields) != 2 {
+			return "ERR DEL wants <stream>"
+		}
+		if err := s.dir.Unregister(fields[1]); err != nil {
+			return "ERR " + err.Error()
+		}
+		return "OK"
+	}
+	return "ERR unknown verb " + fields[0]
+}
+
+// Client is a Directory backed by a remote Server. Each call opens a
+// short-lived connection: directory traffic happens only at stream setup,
+// so connection reuse is not worth the state.
+type Client struct {
+	Addr    string
+	Timeout time.Duration // per-request dial/read deadline; default 5s
+}
+
+func (c *Client) roundTrip(req string) (string, error) {
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", c.Addr, timeout)
+	if err != nil {
+		return "", err
+	}
+	defer conn.Close()
+	// WAIT can block server-side; give it extra room beyond the request's
+	// own timeout.
+	conn.SetDeadline(time.Now().Add(timeout + 30*time.Second))
+	if _, err := fmt.Fprintln(conn, req); err != nil {
+		return "", err
+	}
+	sc := bufio.NewScanner(conn)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return "", err
+		}
+		return "", fmt.Errorf("directory: server closed connection")
+	}
+	resp := sc.Text()
+	if strings.HasPrefix(resp, "ERR ") {
+		msg := strings.TrimPrefix(resp, "ERR ")
+		switch {
+		case strings.Contains(msg, "not found"):
+			return "", fmt.Errorf("%w: %s", ErrNotFound, msg)
+		case strings.Contains(msg, "already registered"):
+			return "", fmt.Errorf("%w: %s", ErrDuplicate, msg)
+		case strings.Contains(msg, "timed out"):
+			return "", fmt.Errorf("%w: %s", ErrTimeout, msg)
+		}
+		return "", fmt.Errorf("directory: %s", msg)
+	}
+	return strings.TrimSpace(strings.TrimPrefix(resp, "OK")), nil
+}
+
+// Register implements Directory.
+func (c *Client) Register(stream, contact string) error {
+	_, err := c.roundTrip(fmt.Sprintf("REG %s %s", stream, contact))
+	return err
+}
+
+// Lookup implements Directory.
+func (c *Client) Lookup(stream string) (string, error) {
+	return c.roundTrip("GET " + stream)
+}
+
+// WaitLookup implements Directory.
+func (c *Client) WaitLookup(stream string, timeout time.Duration) (string, error) {
+	return c.roundTrip(fmt.Sprintf("WAIT %s %d", stream, timeout.Milliseconds()))
+}
+
+// Unregister implements Directory.
+func (c *Client) Unregister(stream string) error {
+	_, err := c.roundTrip("DEL " + stream)
+	return err
+}
+
+var _ Directory = (*Mem)(nil)
+var _ Directory = (*Client)(nil)

@@ -1,0 +1,179 @@
+package evpath
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeAllTypes(t *testing.T) {
+	rec := Record{
+		"i":  int64(-42),
+		"u":  uint64(1 << 60),
+		"f":  3.14159,
+		"s":  "hello world",
+		"b":  []byte{1, 2, 3},
+		"is": []int64{-1, 0, 1 << 40},
+		"fs": []float64{0.5, -2.5},
+		"ok": true,
+	}
+	buf, err := Encode(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rec) {
+		t.Fatalf("round trip mismatch:\n got %#v\nwant %#v", got, rec)
+	}
+}
+
+func TestEncodeIntPromotion(t *testing.T) {
+	buf, err := Encode(Record{"n": 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := Decode(buf)
+	if v, ok := rec.GetInt("n"); !ok || v != 7 {
+		t.Fatalf("int promotion: %v %v", v, ok)
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	rec := Record{"z": int64(1), "a": int64(2), "m": "x"}
+	b1, _ := Encode(rec)
+	b2, _ := Encode(rec)
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("encoding must be deterministic")
+	}
+}
+
+func TestEncodeUnsupportedType(t *testing.T) {
+	if _, err := Encode(Record{"bad": struct{}{}}); err == nil {
+		t.Fatal("unsupported type must error")
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	rec := Record{"s": "some string data", "n": int64(5)}
+	buf, _ := Encode(rec)
+	for cut := 1; cut < len(buf); cut++ {
+		if _, err := Decode(buf[:cut]); err == nil {
+			// Some prefixes can decode to fewer fields only if the count
+			// header were intact AND all fields fit, which truncation
+			// prevents here.
+			t.Fatalf("truncation at %d decoded without error", cut)
+		}
+	}
+	if _, err := Decode([]byte{}); err == nil {
+		t.Fatal("empty buffer must error")
+	}
+}
+
+func TestDecodeUnknownTag(t *testing.T) {
+	// count=1, name "x", tag 200
+	buf := []byte{1, 1, 'x', 200}
+	if _, err := Decode(buf); err == nil {
+		t.Fatal("unknown tag must error")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	rec := Record{
+		"i": int64(3), "u": uint64(4), "f": 1.5, "s": "str",
+		"b": []byte("by"), "is": []int64{1}, "fs": []float64{2}, "t": true,
+	}
+	if v, ok := rec.GetInt("i"); !ok || v != 3 {
+		t.Error("GetInt int64")
+	}
+	if v, ok := rec.GetInt("u"); !ok || v != 4 {
+		t.Error("GetInt uint64")
+	}
+	if _, ok := rec.GetInt("s"); ok {
+		t.Error("GetInt on string must fail")
+	}
+	if v, ok := rec.GetFloat("f"); !ok || v != 1.5 {
+		t.Error("GetFloat")
+	}
+	if v, ok := rec.GetString("s"); !ok || v != "str" {
+		t.Error("GetString")
+	}
+	if v, ok := rec.GetBytes("b"); !ok || string(v) != "by" {
+		t.Error("GetBytes")
+	}
+	if v, ok := rec.GetInts("is"); !ok || v[0] != 1 {
+		t.Error("GetInts")
+	}
+	if v, ok := rec.GetFloats("fs"); !ok || v[0] != 2 {
+		t.Error("GetFloats")
+	}
+	if v, ok := rec.GetBool("t"); !ok || !v {
+		t.Error("GetBool")
+	}
+	if _, ok := rec.GetInt("missing"); ok {
+		t.Error("missing field must report !ok")
+	}
+}
+
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(i int64, u uint64, fl float64, s string, b []byte, is []int64, fs []float64) bool {
+		if math.IsNaN(fl) {
+			return true // NaN != NaN; skip
+		}
+		rec := Record{"i": i, "u": u, "f": fl, "s": s}
+		if b != nil {
+			rec["b"] = b
+		}
+		if is != nil {
+			rec["is"] = is
+		}
+		if fs != nil {
+			for _, x := range fs {
+				if math.IsNaN(x) {
+					return true
+				}
+			}
+			rec["fs"] = fs
+		}
+		buf, err := Encode(rec)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, rec)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventRoundTrip(t *testing.T) {
+	ev := &Event{
+		Meta: Record{"var": "zion", "step": int64(7)},
+		Data: bytes.Repeat([]byte{0xAB}, 4096),
+	}
+	buf, err := EncodeEvent(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeEvent(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Meta, ev.Meta) || !bytes.Equal(got.Data, ev.Data) {
+		t.Fatal("event round trip mismatch")
+	}
+}
+
+func TestDecodeEventCorrupt(t *testing.T) {
+	if _, err := DecodeEvent([]byte{0xFF}); err == nil {
+		t.Fatal("corrupt event must error")
+	}
+}

@@ -1,0 +1,59 @@
+package evpath
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrTransient marks a recoverable transport failure: the operation may
+// succeed if retried. FlexIO's runtime copes with such faults using
+// simple timeout-and-retry (Section II.H of the paper); this sentinel is
+// what its retry policy keys on.
+var ErrTransient = errors.New("evpath: transient transport fault")
+
+// faultConn wraps a Conn and injects transient send failures on a
+// deterministic schedule — the failure-injection harness used to test the
+// runtime's retry machinery. Receives are never faulted (a lost delivery
+// would be a data-loss bug, not a transient).
+type faultConn struct {
+	Conn
+	mu        sync.Mutex
+	sends     int
+	failEvery int
+	faults    int
+}
+
+// InjectFaults wraps conn so that every failEvery-th Send fails once with
+// ErrTransient (the payload is NOT delivered). failEvery < 2 returns the
+// conn unchanged.
+func InjectFaults(conn Conn, failEvery int) Conn {
+	if failEvery < 2 {
+		return conn
+	}
+	return &faultConn{Conn: conn, failEvery: failEvery}
+}
+
+func (f *faultConn) Send(msg []byte) error {
+	f.mu.Lock()
+	f.sends++
+	fail := f.sends%f.failEvery == 0
+	if fail {
+		f.faults++
+	}
+	f.mu.Unlock()
+	if fail {
+		return fmt.Errorf("injected fault on send %d: %w", f.sends, ErrTransient)
+	}
+	return f.Conn.Send(msg)
+}
+
+// FaultCount reports injected failures so far (testing aid).
+func FaultCount(c Conn) int {
+	if f, ok := c.(*faultConn); ok {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		return f.faults
+	}
+	return 0
+}

@@ -1,0 +1,79 @@
+package evpath
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestInjectFaultsSchedule(t *testing.T) {
+	n := NewNet(nil)
+	l, _ := n.Listen("svc")
+	raw, err := n.Dial("svc", ChanTransport, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer, _ := l.Accept()
+	c := InjectFaults(raw, 3)
+
+	var faults, oks int
+	for i := 0; i < 9; i++ {
+		if err := c.Send([]byte{byte(i)}); err != nil {
+			if !errors.Is(err, ErrTransient) {
+				t.Fatalf("send %d: unexpected error %v", i, err)
+			}
+			faults++
+		} else {
+			oks++
+		}
+	}
+	if faults != 3 || oks != 6 {
+		t.Fatalf("faults=%d oks=%d, want 3/6", faults, oks)
+	}
+	if FaultCount(c) != 3 {
+		t.Fatalf("FaultCount = %d", FaultCount(c))
+	}
+	// Only the successful sends were delivered.
+	for i := 0; i < oks; i++ {
+		if _, err := peer.Recv(); err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+	}
+	c.Close()
+}
+
+func TestInjectFaultsPassthrough(t *testing.T) {
+	n := NewNet(nil)
+	l, _ := n.Listen("svc2")
+	raw, _ := n.Dial("svc2", ChanTransport, 0, 0)
+	l.Accept()
+	if got := InjectFaults(raw, 1); got != raw {
+		t.Fatal("failEvery<2 must return the conn unchanged")
+	}
+	if got := InjectFaults(raw, 0); got != raw {
+		t.Fatal("failEvery=0 must return the conn unchanged")
+	}
+	if FaultCount(raw) != 0 {
+		t.Fatal("FaultCount on a plain conn must be 0")
+	}
+	raw.Close()
+}
+
+func TestInjectFaultsRecvUnaffected(t *testing.T) {
+	n := NewNet(nil)
+	l, _ := n.Listen("svc3")
+	a, _ := n.Dial("svc3", ChanTransport, 0, 0)
+	b, _ := l.Accept()
+	fb := InjectFaults(b, 2)
+	for i := 0; i < 8; i++ {
+		if err := a.Send([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		msg, err := fb.Recv()
+		if err != nil || msg[0] != byte(i) {
+			t.Fatalf("recv %d faulted: %v", i, err)
+		}
+	}
+	a.Close()
+}

@@ -1,0 +1,162 @@
+package evpath
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Event is the unit flowing through a stone graph: typed metadata plus an
+// opaque bulk payload (the simulation data itself is never re-marshaled
+// field by field — only its descriptive metadata is).
+type Event struct {
+	Meta Record
+	Data []byte
+}
+
+// EncodeEvent frames an event for the wire: uvarint meta length, encoded
+// meta, then raw data.
+func EncodeEvent(ev *Event) ([]byte, error) {
+	meta, err := Encode(ev.Meta)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, len(meta)+len(ev.Data)+10)
+	buf = binary.AppendUvarint(buf, uint64(len(meta)))
+	buf = append(buf, meta...)
+	buf = append(buf, ev.Data...)
+	return buf, nil
+}
+
+// DecodeEvent parses a framed event.
+func DecodeEvent(buf []byte) (*Event, error) {
+	n, adv := binary.Uvarint(buf)
+	if adv <= 0 || adv+int(n) > len(buf) {
+		return nil, ErrCorrupt
+	}
+	meta, err := Decode(buf[adv : adv+int(n)])
+	if err != nil {
+		return nil, err
+	}
+	return &Event{Meta: meta, Data: buf[adv+int(n):]}, nil
+}
+
+// Stone is a vertex in the EVPath dataflow graph. Events submitted to a
+// stone are processed and forwarded according to its kind.
+type Stone interface {
+	Submit(ev *Event) error
+}
+
+// FilterFunc transforms an event; returning nil drops it. Data
+// conditioning plug-ins are installed as filter functions.
+type FilterFunc func(ev *Event) (*Event, error)
+
+// FilterStone applies a (swappable) filter and forwards survivors. The
+// filter can be replaced at runtime, which is how D.C. plug-in migration
+// installs or removes a codelet in a running transport path.
+type FilterStone struct {
+	mu   sync.RWMutex
+	fn   FilterFunc
+	next Stone
+}
+
+// NewFilterStone creates a filter stone feeding next. A nil fn passes
+// events through unchanged.
+func NewFilterStone(fn FilterFunc, next Stone) *FilterStone {
+	return &FilterStone{fn: fn, next: next}
+}
+
+// SetFilter swaps the filter function at runtime.
+func (s *FilterStone) SetFilter(fn FilterFunc) {
+	s.mu.Lock()
+	s.fn = fn
+	s.mu.Unlock()
+}
+
+// Submit runs the filter and forwards the result.
+func (s *FilterStone) Submit(ev *Event) error {
+	s.mu.RLock()
+	fn := s.fn
+	s.mu.RUnlock()
+	if fn != nil {
+		out, err := fn(ev)
+		if err != nil {
+			return err
+		}
+		if out == nil {
+			return nil // dropped
+		}
+		ev = out
+	}
+	if s.next == nil {
+		return nil
+	}
+	return s.next.Submit(ev)
+}
+
+// TerminalStone hands events to a local handler (the analytics sink).
+type TerminalStone struct {
+	Handler func(ev *Event) error
+}
+
+// Submit invokes the handler.
+func (s *TerminalStone) Submit(ev *Event) error {
+	if s.Handler == nil {
+		return nil
+	}
+	return s.Handler(ev)
+}
+
+// BridgeStone marshals events onto a connection (the transport edge of
+// the graph).
+type BridgeStone struct {
+	Conn Conn
+}
+
+// Submit frames and sends the event.
+func (s *BridgeStone) Submit(ev *Event) error {
+	buf, err := EncodeEvent(ev)
+	if err != nil {
+		return err
+	}
+	return s.Conn.Send(buf)
+}
+
+// SplitStone forwards each event to every output (fan-out).
+type SplitStone struct {
+	Outputs []Stone
+}
+
+// Submit fans the event out; the first error aborts.
+func (s *SplitStone) Submit(ev *Event) error {
+	for i, out := range s.Outputs {
+		if err := out.Submit(ev); err != nil {
+			return fmt.Errorf("evpath: split output %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// PumpConn reads framed events from a connection and submits them to a
+// stone until EOF or error; it is the receive loop a bridge's peer runs.
+// It returns nil on clean EOF.
+func PumpConn(c Conn, dst Stone) error {
+	for {
+		buf, err := c.Recv()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		ev, err := DecodeEvent(buf)
+		if err != nil {
+			return err
+		}
+		if err := dst.Submit(ev); err != nil {
+			return err
+		}
+	}
+}

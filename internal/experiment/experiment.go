@@ -1,0 +1,117 @@
+// Package experiment contains one driver per table/figure of the FlexIO
+// paper's evaluation (Section IV plus Figure 4 from Section II). Each
+// driver assembles the machines, application models, placements and
+// runtime options, runs the coupled-execution simulator or the transport
+// microbenchmarks, and returns the same rows/series the paper reports.
+// The cmd/flexbench binary and the repo-root benchmarks are thin wrappers
+// over these functions.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Series is one labelled curve of a figure.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Figure is the regenerated artifact: series plus free-form notes (used
+// for the headline-claims checks).
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// Fprint renders the figure as aligned text tables.
+func (f *Figure) Fprint(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	if len(f.Series) > 0 {
+		// Collect the union of X values (columns).
+		xsSet := map[float64]bool{}
+		for _, s := range f.Series {
+			for _, x := range s.X {
+				xsSet[x] = true
+			}
+		}
+		xs := make([]float64, 0, len(xsSet))
+		for x := range xsSet {
+			xs = append(xs, x)
+		}
+		sort.Float64s(xs)
+		fmt.Fprintf(w, "%-36s", f.XLabel+" \\ "+f.YLabel)
+		for _, x := range xs {
+			fmt.Fprintf(w, "%12.6g", x)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, strings.Repeat("-", 36+12*len(xs)))
+		for _, s := range f.Series {
+			fmt.Fprintf(w, "%-36s", s.Label)
+			byX := map[float64]float64{}
+			for i := range s.X {
+				byX[s.X[i]] = s.Y[i]
+			}
+			for _, x := range xs {
+				if y, ok := byX[x]; ok {
+					fmt.Fprintf(w, "%12.5g", y)
+				} else {
+					fmt.Fprintf(w, "%12s", "-")
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// Registry maps experiment ids to drivers.
+var Registry = map[string]func() (*Figure, error){
+	"fig4":    func() (*Figure, error) { return Fig4() },
+	"fig6a":   func() (*Figure, error) { return Fig6("Smoky") },
+	"fig6b":   func() (*Figure, error) { return Fig6("Titan") },
+	"fig7":    Fig7,
+	"fig8":    Fig8,
+	"fig9a":   func() (*Figure, error) { return Fig9("Smoky") },
+	"fig9b":   func() (*Figure, error) { return Fig9("Titan") },
+	"s3dtune": S3DTuning,
+	"claims":  Claims,
+}
+
+// IDs returns the registered experiment ids, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(Registry))
+	for id := range Registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RunAll executes every experiment and prints each figure.
+func RunAll(w io.Writer) error {
+	for _, id := range IDs() {
+		fig, err := Registry[id]()
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", id, err)
+		}
+		if err := fig.Fprint(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

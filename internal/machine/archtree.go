@@ -1,0 +1,122 @@
+package machine
+
+import "fmt"
+
+// ArchTree is the hierarchical architecture model consumed by the graph
+// mapping algorithms in internal/placement. The paper's holistic placement
+// models the machine as a two-level tree (node -> core); node-topology-
+// aware placement extends it to a multi-level hierarchy that reflects the
+// cache topology (node -> NUMA domain -> core). Leaves are cores, numbered
+// globally in the same order as Machine core ids.
+type ArchTree struct {
+	// LevelNames[0] is the root level ("machine"); the last level is
+	// "core" (the leaves).
+	LevelNames []string
+	// Arity[i] is the number of children each level-i vertex has (for
+	// i < len-1). The number of leaves is the product of all arities.
+	Arity []int
+	// CrossCost[i] is the relative communication cost between two leaves
+	// whose lowest common ancestor is at level i. CrossCost must be
+	// non-increasing from root to leaf parents: crossing the machine
+	// level (inter-node) is the most expensive.
+	CrossCost []float64
+}
+
+// NumLeaves reports the number of cores covered by the tree.
+func (t *ArchTree) NumLeaves() int {
+	n := 1
+	for _, a := range t.Arity {
+		n *= a
+	}
+	return n
+}
+
+// Levels reports the number of internal levels (root included).
+func (t *ArchTree) Levels() int { return len(t.Arity) }
+
+// Validate checks structural consistency.
+func (t *ArchTree) Validate() error {
+	if len(t.Arity) == 0 {
+		return fmt.Errorf("archtree: no levels")
+	}
+	if len(t.LevelNames) != len(t.Arity)+1 {
+		return fmt.Errorf("archtree: %d names for %d arity levels", len(t.LevelNames), len(t.Arity))
+	}
+	if len(t.CrossCost) != len(t.Arity) {
+		return fmt.Errorf("archtree: %d costs for %d levels", len(t.CrossCost), len(t.Arity))
+	}
+	for i, a := range t.Arity {
+		if a <= 0 {
+			return fmt.Errorf("archtree: level %d arity %d", i, a)
+		}
+	}
+	for i := 1; i < len(t.CrossCost); i++ {
+		if t.CrossCost[i] > t.CrossCost[i-1] {
+			return fmt.Errorf("archtree: cost must not increase with depth: level %d cost %g > level %d cost %g",
+				i, t.CrossCost[i], i-1, t.CrossCost[i-1])
+		}
+	}
+	return nil
+}
+
+// LCA returns the level of the lowest common ancestor of two leaves:
+// 0 means they only share the machine root (different nodes); Levels()
+// means a == b (same core).
+func (t *ArchTree) LCA(a, b int) int {
+	if a == b {
+		return t.Levels()
+	}
+	// Group size at level i is the product of arities below level i.
+	group := t.NumLeaves()
+	for lvl := 0; lvl < len(t.Arity); lvl++ {
+		group /= t.Arity[lvl]
+		if a/group != b/group {
+			return lvl
+		}
+	}
+	return t.Levels()
+}
+
+// LeafDistance returns the relative cost of communication between two
+// leaf cores: CrossCost at their lowest common ancestor level, and 0 for
+// the same core.
+func (t *ArchTree) LeafDistance(a, b int) float64 {
+	lvl := t.LCA(a, b)
+	if lvl >= t.Levels() {
+		return 0
+	}
+	return t.CrossCost[lvl]
+}
+
+// TwoLevelTree builds the paper's holistic-placement machine model: cores
+// of the same node are siblings with lower communication cost than cores
+// on different nodes. nodes*coresPerNode leaves.
+func TwoLevelTree(nodes, coresPerNode int, interNodeCost, intraNodeCost float64) *ArchTree {
+	return &ArchTree{
+		LevelNames: []string{"machine", "node", "core"},
+		Arity:      []int{nodes, coresPerNode},
+		CrossCost:  []float64{interNodeCost, intraNodeCost},
+	}
+}
+
+// Tree derives the architecture tree for a machine. If topoAware is false
+// the result is the two-level (node, core) model used by holistic
+// placement; if true, the NUMA level is inserted so that the mapper can
+// respect the cache topology (node-topology-aware placement).
+// Cross-level costs are normalized seconds-per-megabyte derived from the
+// machine's bandwidth model, so that mapping objectives are comparable
+// across machines.
+func (m *Machine) Tree(topoAware bool) *ArchTree {
+	const mb = 1 << 20
+	interNode := float64(mb) / m.Net.LinkBandwidth
+	interNUMA := float64(mb) / m.Node.InterNUMABandwidth
+	intraNUMA := float64(mb) / m.Node.IntraNUMABandwidth
+	if !topoAware {
+		return TwoLevelTree(m.NumNodes, m.Node.Cores, interNode, interNUMA)
+	}
+	return &ArchTree{
+		LevelNames: []string{"machine", "node", "numa", "core"},
+		Arity:      []int{m.NumNodes, m.Node.NUMADomains, m.Node.CoresPerNUMA},
+		CrossCost:  []float64{interNode, interNUMA, intraNUMA},
+	}
+}

@@ -1,0 +1,225 @@
+// Package machine models the target HPC platforms of the FlexIO paper:
+// ORNL's Titan (Cray XK6, Gemini interconnect) and the Smoky InfiniBand
+// cluster. The paper's placement algorithms consume a machine description
+// both as flat parameters (bandwidths, latencies, core counts) and as a
+// hierarchical architecture tree (node -> socket/NUMA -> core) used for
+// graph mapping. Since no Cray or InfiniBand hardware exists here, the
+// models are calibrated from the machine specifications quoted in Section
+// IV of the paper and public system documentation.
+package machine
+
+import "fmt"
+
+// NodeArch describes one compute node: cores, NUMA layout, caches, and
+// intra-node communication costs. It corresponds to Figure 5 of the paper
+// (a multi-socket NUMA node).
+type NodeArch struct {
+	Name         string
+	Cores        int     // total cores per node
+	NUMADomains  int     // NUMA domains per node
+	CoresPerNUMA int     // Cores / NUMADomains
+	L3PerNUMA    int64   // shared last-level cache per NUMA domain, bytes
+	MemoryBytes  int64   // DRAM per node
+	CoreGHz      float64 // nominal clock
+	// Shared-memory transport costs (used by the coupled-run simulator for
+	// on-node data movement through FlexIO's shm queues).
+	IntraNUMABandwidth float64 // bytes/sec for same-NUMA memcpy-style movement
+	InterNUMABandwidth float64 // bytes/sec crossing NUMA domains
+	IntraNUMALatency   float64 // seconds per message
+	InterNUMALatency   float64 // seconds per message
+}
+
+// Interconnect describes the inter-node network and its RDMA cost model.
+type Interconnect struct {
+	Name          string
+	LinkBandwidth float64 // bytes/sec point-to-point RDMA Get/Put payload bandwidth
+	Latency       float64 // seconds, small-message one-way
+	// Memory registration cost model: registering an RDMA buffer costs
+	// RegBase + ceil(size/PageSize) * RegPerPage seconds. Dynamic
+	// allocation adds AllocBase + pages * AllocPerPage. These reproduce
+	// the dynamic-vs-static gap of Figure 4.
+	RegBase      float64
+	RegPerPage   float64
+	AllocBase    float64
+	AllocPerPage float64
+	PageSize     int64
+	// SmallMsgOverhead is the per-message software cost (progress engine,
+	// completion handling) on top of wire latency; it dominates
+	// handshake phases that serialize at a coordinator rank.
+	SmallMsgOverhead float64
+	// InjectionBandwidth caps the aggregate rate one node can push into
+	// the network (NIC limit); contention among concurrent flows on a
+	// node shares this.
+	InjectionBandwidth float64
+	// BisectionBandwidth caps aggregate machine-wide traffic; bulk
+	// asynchronous staging flows contend here with application MPI
+	// traffic, which is what forces the Get-scheduling policy in the
+	// paper ("keep the GTS slowdown under 15%").
+	BisectionBandwidth float64
+}
+
+// FileSystem models the shared parallel file system (Lustre in the paper).
+type FileSystem struct {
+	Name               string
+	AggregateBandwidth float64 // bytes/sec across the whole machine
+	PerClientBandwidth float64 // bytes/sec ceiling for one writer process
+	OpenCost           float64 // seconds per file open/create (metadata)
+}
+
+// Machine is a complete platform model.
+type Machine struct {
+	Name     string
+	NumNodes int
+	Node     NodeArch
+	Net      Interconnect
+	FS       FileSystem
+}
+
+// TotalCores reports the machine's total core count.
+func (m *Machine) TotalCores() int { return m.NumNodes * m.Node.Cores }
+
+// NodeOfCore maps a global core id to its node index.
+func (m *Machine) NodeOfCore(core int) int { return core / m.Node.Cores }
+
+// NUMAOfCore maps a global core id to its (node-local) NUMA domain index.
+func (m *Machine) NUMAOfCore(core int) int {
+	return (core % m.Node.Cores) / m.Node.CoresPerNUMA
+}
+
+// SameNode reports whether two global core ids live on one node.
+func (m *Machine) SameNode(a, b int) bool { return m.NodeOfCore(a) == m.NodeOfCore(b) }
+
+// SameNUMA reports whether two global core ids share a NUMA domain.
+func (m *Machine) SameNUMA(a, b int) bool {
+	return m.SameNode(a, b) && m.NUMAOfCore(a) == m.NUMAOfCore(b)
+}
+
+// Validate checks internal consistency of the model.
+func (m *Machine) Validate() error {
+	n := m.Node
+	if n.Cores <= 0 || n.NUMADomains <= 0 {
+		return fmt.Errorf("machine %s: non-positive core/NUMA counts", m.Name)
+	}
+	if n.Cores%n.NUMADomains != 0 {
+		return fmt.Errorf("machine %s: %d cores not divisible by %d NUMA domains", m.Name, n.Cores, n.NUMADomains)
+	}
+	if n.CoresPerNUMA != n.Cores/n.NUMADomains {
+		return fmt.Errorf("machine %s: CoresPerNUMA %d != %d/%d", m.Name, n.CoresPerNUMA, n.Cores, n.NUMADomains)
+	}
+	if m.NumNodes <= 0 {
+		return fmt.Errorf("machine %s: NumNodes %d", m.Name, m.NumNodes)
+	}
+	if m.Net.LinkBandwidth <= 0 || m.Net.PageSize <= 0 {
+		return fmt.Errorf("machine %s: invalid interconnect model", m.Name)
+	}
+	return nil
+}
+
+// WithNodes returns a copy of the machine scaled to n nodes; experiments
+// use this to run weak-scaling sweeps on one preset.
+func (m *Machine) WithNodes(n int) *Machine {
+	c := *m
+	c.NumNodes = n
+	return &c
+}
+
+// Titan returns a model of ORNL Titan as described in Section IV: Cray
+// XK6, 16-core 2.2 GHz AMD Opteron 6274 (Interlagos) per node with two
+// NUMA domains of 8 cores, 32 GB RAM, Gemini interconnect. Bandwidth and
+// latency figures follow published Gemini microbenchmarks (~5 GB/s
+// point-to-point payload bandwidth, ~1.5 us latency).
+func Titan(nodes int) *Machine {
+	return &Machine{
+		Name:     "Titan",
+		NumNodes: nodes,
+		Node: NodeArch{
+			Name:               "XK6-Interlagos",
+			Cores:              16,
+			NUMADomains:        2,
+			CoresPerNUMA:       8,
+			L3PerNUMA:          8 << 20, // 8 MB shared L3 per die
+			MemoryBytes:        32 << 30,
+			CoreGHz:            2.2,
+			IntraNUMABandwidth: 12.0e9,
+			InterNUMABandwidth: 8.0e9,
+			IntraNUMALatency:   0.2e-6,
+			InterNUMALatency:   0.6e-6,
+		},
+		Net: Interconnect{
+			Name:               "Gemini",
+			LinkBandwidth:      5.0e9,
+			Latency:            1.5e-6,
+			RegBase:            12e-6,
+			RegPerPage:         0.08e-6,
+			AllocBase:          6e-6,
+			AllocPerPage:       0.04e-6,
+			PageSize:           4096,
+			SmallMsgOverhead:   12e-6,
+			InjectionBandwidth: 6.0e9,
+			BisectionBandwidth: float64(nodes) * 2.0e9,
+		},
+		FS: FileSystem{
+			Name:               "Lustre(center-wide)",
+			AggregateBandwidth: 40e9,
+			PerClientBandwidth: 0.4e9,
+			OpenCost:           3e-3,
+		},
+	}
+}
+
+// Smoky returns a model of the ORNL Smoky cluster: 80 nodes, four
+// quad-core 2.0 GHz AMD Opteron (Barcelona) sockets per node — the Figure
+// 5 topology with four NUMA domains and a shared L3 per socket — and DDR
+// InfiniBand (~1.5 GB/s payload bandwidth).
+func Smoky(nodes int) *Machine {
+	if nodes <= 0 || nodes > 80 {
+		nodes = 80
+	}
+	return &Machine{
+		Name:     "Smoky",
+		NumNodes: nodes,
+		Node: NodeArch{
+			Name:               "Barcelona-4S",
+			Cores:              16,
+			NUMADomains:        4,
+			CoresPerNUMA:       4,
+			L3PerNUMA:          2 << 20, // 2 MB shared L3 per Barcelona socket
+			MemoryBytes:        32 << 30,
+			CoreGHz:            2.0,
+			IntraNUMABandwidth: 6.0e9,
+			InterNUMABandwidth: 3.0e9,
+			IntraNUMALatency:   0.25e-6,
+			InterNUMALatency:   0.9e-6,
+		},
+		Net: Interconnect{
+			Name:               "DDR-InfiniBand",
+			LinkBandwidth:      1.5e9,
+			Latency:            3.0e-6,
+			RegBase:            25e-6,
+			RegPerPage:         0.25e-6,
+			AllocBase:          8e-6,
+			AllocPerPage:       0.10e-6,
+			PageSize:           4096,
+			SmallMsgOverhead:   40e-6,
+			InjectionBandwidth: 1.6e9,
+			BisectionBandwidth: float64(nodes) * 0.8e9,
+		},
+		FS: FileSystem{
+			Name:               "Lustre",
+			AggregateBandwidth: 10e9,
+			PerClientBandwidth: 0.3e9,
+			OpenCost:           3e-3,
+		},
+	}
+}
+
+// ByName returns a preset machine by (case-sensitive) name.
+func ByName(name string, nodes int) (*Machine, error) {
+	switch name {
+	case "Titan", "titan":
+		return Titan(nodes), nil
+	case "Smoky", "smoky":
+		return Smoky(nodes), nil
+	}
+	return nil, fmt.Errorf("machine: unknown preset %q (want Titan or Smoky)", name)
+}

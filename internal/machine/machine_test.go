@@ -1,0 +1,188 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for _, m := range []*Machine{Titan(128), Smoky(80)} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestTitanTopology(t *testing.T) {
+	m := Titan(4)
+	if got := m.TotalCores(); got != 64 {
+		t.Fatalf("TotalCores = %d, want 64", got)
+	}
+	if m.Node.NUMADomains != 2 || m.Node.CoresPerNUMA != 8 {
+		t.Fatalf("Titan node should be 2 NUMA x 8 cores, got %d x %d",
+			m.Node.NUMADomains, m.Node.CoresPerNUMA)
+	}
+}
+
+func TestSmokyTopology(t *testing.T) {
+	m := Smoky(80)
+	// Figure 5: four quad-core sockets, each with its own shared L3.
+	if m.Node.NUMADomains != 4 || m.Node.CoresPerNUMA != 4 {
+		t.Fatalf("Smoky node should be 4 NUMA x 4 cores, got %d x %d",
+			m.Node.NUMADomains, m.Node.CoresPerNUMA)
+	}
+	if m.NumNodes != 80 {
+		t.Fatalf("Smoky has 80 nodes, got %d", m.NumNodes)
+	}
+}
+
+func TestSmokyNodeClamp(t *testing.T) {
+	if got := Smoky(500).NumNodes; got != 80 {
+		t.Fatalf("Smoky must clamp to 80 nodes, got %d", got)
+	}
+	if got := Smoky(0).NumNodes; got != 80 {
+		t.Fatalf("Smoky(0) should default to 80, got %d", got)
+	}
+}
+
+func TestCoreMapping(t *testing.T) {
+	m := Smoky(2) // 16 cores/node, 4 per NUMA
+	cases := []struct {
+		core, node, numa int
+	}{
+		{0, 0, 0}, {3, 0, 0}, {4, 0, 1}, {15, 0, 3}, {16, 1, 0}, {21, 1, 1},
+	}
+	for _, c := range cases {
+		if got := m.NodeOfCore(c.core); got != c.node {
+			t.Errorf("NodeOfCore(%d) = %d, want %d", c.core, got, c.node)
+		}
+		if got := m.NUMAOfCore(c.core); got != c.numa {
+			t.Errorf("NUMAOfCore(%d) = %d, want %d", c.core, got, c.numa)
+		}
+	}
+	if !m.SameNUMA(0, 3) || m.SameNUMA(3, 4) || m.SameNode(15, 16) {
+		t.Error("SameNUMA/SameNode misclassification")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if m, err := ByName("titan", 8); err != nil || m.Name != "Titan" {
+		t.Errorf("ByName(titan) = %v, %v", m, err)
+	}
+	if _, err := ByName("jaguar", 8); err == nil {
+		t.Error("unknown machine must error")
+	}
+}
+
+func TestWithNodes(t *testing.T) {
+	m := Titan(128)
+	m2 := m.WithNodes(16)
+	if m2.NumNodes != 16 || m.NumNodes != 128 {
+		t.Fatalf("WithNodes must copy: got %d / original %d", m2.NumNodes, m.NumNodes)
+	}
+}
+
+func TestArchTreeValidate(t *testing.T) {
+	for _, m := range []*Machine{Smoky(4), Titan(4)} {
+		for _, topo := range []bool{false, true} {
+			tr := m.Tree(topo)
+			if err := tr.Validate(); err != nil {
+				t.Errorf("%s topo=%v: %v", m.Name, topo, err)
+			}
+		}
+	}
+	bad := &ArchTree{LevelNames: []string{"m", "c"}, Arity: []int{4}, CrossCost: []float64{1, 2}}
+	if bad.Validate() == nil {
+		t.Error("mismatched cost count must fail")
+	}
+	inc := &ArchTree{
+		LevelNames: []string{"m", "n", "c"},
+		Arity:      []int{2, 2},
+		CrossCost:  []float64{1, 5},
+	}
+	if inc.Validate() == nil {
+		t.Error("increasing cost with depth must fail")
+	}
+}
+
+func TestArchTreeLeaves(t *testing.T) {
+	tr := Smoky(3).Tree(true)
+	if got := tr.NumLeaves(); got != 48 {
+		t.Fatalf("NumLeaves = %d, want 48", got)
+	}
+	if got := tr.Levels(); got != 3 {
+		t.Fatalf("Levels = %d, want 3", got)
+	}
+}
+
+func TestArchTreeLCA(t *testing.T) {
+	// Smoky topo tree: 16 cores/node, 4 per NUMA.
+	tr := Smoky(2).Tree(true)
+	if got := tr.LCA(0, 0); got != 3 {
+		t.Errorf("LCA same core = %d, want 3", got)
+	}
+	if got := tr.LCA(0, 3); got != 2 {
+		t.Errorf("LCA same NUMA = %d, want 2", got)
+	}
+	if got := tr.LCA(0, 4); got != 1 {
+		t.Errorf("LCA same node = %d, want 1", got)
+	}
+	if got := tr.LCA(0, 16); got != 0 {
+		t.Errorf("LCA other node = %d, want 0", got)
+	}
+}
+
+func TestLeafDistanceOrdering(t *testing.T) {
+	tr := Smoky(2).Tree(true)
+	same := tr.LeafDistance(0, 0)
+	numa := tr.LeafDistance(0, 1)
+	node := tr.LeafDistance(0, 5)
+	net := tr.LeafDistance(0, 20)
+	if !(same == 0 && numa > 0 && node > numa && net > node) {
+		t.Fatalf("distance ordering violated: same=%g numa=%g node=%g net=%g", same, numa, node, net)
+	}
+}
+
+func TestLeafDistanceSymmetryProperty(t *testing.T) {
+	tr := Titan(4).Tree(true)
+	n := tr.NumLeaves()
+	f := func(a, b uint16) bool {
+		x, y := int(a)%n, int(b)%n
+		return tr.LeafDistance(x, y) == tr.LeafDistance(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeMatchesMachineCoreNumbering(t *testing.T) {
+	m := Titan(3)
+	tr := m.Tree(true)
+	n := tr.NumLeaves()
+	if n != m.TotalCores() {
+		t.Fatalf("tree leaves %d != machine cores %d", n, m.TotalCores())
+	}
+	for a := 0; a < n; a += 5 {
+		for b := 0; b < n; b += 7 {
+			lca := tr.LCA(a, b)
+			switch {
+			case a == b:
+				if lca != tr.Levels() {
+					t.Fatalf("LCA(%d,%d)=%d for identical cores", a, b, lca)
+				}
+			case m.SameNUMA(a, b):
+				if lca != 2 {
+					t.Fatalf("LCA(%d,%d)=%d, want 2 (same NUMA)", a, b, lca)
+				}
+			case m.SameNode(a, b):
+				if lca != 1 {
+					t.Fatalf("LCA(%d,%d)=%d, want 1 (same node)", a, b, lca)
+				}
+			default:
+				if lca != 0 {
+					t.Fatalf("LCA(%d,%d)=%d, want 0 (cross node)", a, b, lca)
+				}
+			}
+		}
+	}
+}

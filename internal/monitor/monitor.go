@@ -1,0 +1,232 @@
+// Package monitor implements FlexIO's runtime performance monitoring
+// (Section II.G): measurement points across the software stack record
+// data-movement timings, transferred volumes, D.C. plug-in execution
+// times, and memory usage during data movement. Reports can be dumped as
+// trace files for offline tuning or gathered online (Merge) so the
+// analytics side can steer data-movement scheduling and plug-in placement.
+package monitor
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// TimingStat aggregates observations of one measurement point.
+type TimingStat struct {
+	Count int64
+	Total float64 // seconds
+	Min   float64
+	Max   float64
+}
+
+// Mean returns the average duration in seconds (0 when empty).
+func (s TimingStat) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Total / float64(s.Count)
+}
+
+// Monitor collects measurements. All methods are safe for concurrent use;
+// a Monitor typically belongs to one FlexIO process (rank).
+type Monitor struct {
+	Name string
+
+	mu      sync.Mutex
+	timings map[string]*TimingStat
+	volumes map[string]int64
+	counts  map[string]int64
+	memCur  int64
+	memPeak int64
+}
+
+// New creates a named monitor.
+func New(name string) *Monitor {
+	return &Monitor{
+		Name:    name,
+		timings: make(map[string]*TimingStat),
+		volumes: make(map[string]int64),
+		counts:  make(map[string]int64),
+	}
+}
+
+// Start begins timing a measurement point; invoke the returned func to
+// stop. Usage: defer m.Start("redistribute")().
+func (m *Monitor) Start(point string) func() {
+	t0 := time.Now()
+	return func() { m.Observe(point, time.Since(t0).Seconds()) }
+}
+
+// Observe records a duration (in seconds) for a measurement point. Used
+// directly by the virtual-time simulator, where durations are modeled
+// rather than measured.
+func (m *Monitor) Observe(point string, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.timings[point]
+	if st == nil {
+		st = &TimingStat{Min: math.Inf(1), Max: math.Inf(-1)}
+		m.timings[point] = st
+	}
+	st.Count++
+	st.Total += seconds
+	if seconds < st.Min {
+		st.Min = seconds
+	}
+	if seconds > st.Max {
+		st.Max = seconds
+	}
+}
+
+// AddVolume accumulates transferred bytes at a measurement point.
+func (m *Monitor) AddVolume(point string, bytes int64) {
+	m.mu.Lock()
+	m.volumes[point] += bytes
+	m.mu.Unlock()
+}
+
+// Incr bumps a named counter.
+func (m *Monitor) Incr(point string, n int64) {
+	m.mu.Lock()
+	m.counts[point] += n
+	m.mu.Unlock()
+}
+
+// RecordAlloc tracks dynamic memory allocated inside FlexIO's data path
+// ("dynamic memory allocation points within FlexIO are also instrumented").
+func (m *Monitor) RecordAlloc(bytes int64) {
+	m.mu.Lock()
+	m.memCur += bytes
+	if m.memCur > m.memPeak {
+		m.memPeak = m.memCur
+	}
+	m.mu.Unlock()
+}
+
+// RecordFree tracks the release of data-path memory.
+func (m *Monitor) RecordFree(bytes int64) {
+	m.mu.Lock()
+	m.memCur -= bytes
+	m.mu.Unlock()
+}
+
+// Report is an immutable snapshot of a monitor.
+type Report struct {
+	Name    string
+	Timings map[string]TimingStat
+	Volumes map[string]int64
+	Counts  map[string]int64
+	MemCur  int64
+	MemPeak int64
+}
+
+// Snapshot captures the current state.
+func (m *Monitor) Snapshot() Report {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r := Report{
+		Name:    m.Name,
+		Timings: make(map[string]TimingStat, len(m.timings)),
+		Volumes: make(map[string]int64, len(m.volumes)),
+		Counts:  make(map[string]int64, len(m.counts)),
+		MemCur:  m.memCur,
+		MemPeak: m.memPeak,
+	}
+	for k, v := range m.timings {
+		r.Timings[k] = *v
+	}
+	for k, v := range m.volumes {
+		r.Volumes[k] = v
+	}
+	for k, v := range m.counts {
+		r.Counts[k] = v
+	}
+	return r
+}
+
+// Merge combines reports (e.g. gathered from all simulation ranks) into
+// one: timings aggregate, volumes and counters sum, memory peaks take the
+// max-of-peaks and sum-of-current.
+func Merge(name string, reports ...Report) Report {
+	out := Report{
+		Name:    name,
+		Timings: make(map[string]TimingStat),
+		Volumes: make(map[string]int64),
+		Counts:  make(map[string]int64),
+	}
+	for _, r := range reports {
+		for k, v := range r.Timings {
+			cur, ok := out.Timings[k]
+			if !ok {
+				out.Timings[k] = v
+				continue
+			}
+			cur.Count += v.Count
+			cur.Total += v.Total
+			if v.Min < cur.Min {
+				cur.Min = v.Min
+			}
+			if v.Max > cur.Max {
+				cur.Max = v.Max
+			}
+			out.Timings[k] = cur
+		}
+		for k, v := range r.Volumes {
+			out.Volumes[k] += v
+		}
+		for k, v := range r.Counts {
+			out.Counts[k] += v
+		}
+		out.MemCur += r.MemCur
+		if r.MemPeak > out.MemPeak {
+			out.MemPeak = r.MemPeak
+		}
+	}
+	return out
+}
+
+// WriteTrace dumps the report as a human-readable trace for offline
+// performance tuning.
+func (r Report) WriteTrace(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# flexio trace: %s\n", r.Name); err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(r.Timings))
+	for k := range r.Timings {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		t := r.Timings[k]
+		if _, err := fmt.Fprintf(w, "timing %-32s count=%-8d total=%.6fs mean=%.6fs min=%.6fs max=%.6fs\n",
+			k, t.Count, t.Total, t.Mean(), t.Min, t.Max); err != nil {
+			return err
+		}
+	}
+	keys = keys[:0]
+	for k := range r.Volumes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "volume %-32s bytes=%d\n", k, r.Volumes[k]); err != nil {
+			return err
+		}
+	}
+	keys = keys[:0]
+	for k := range r.Counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "count  %-32s n=%d\n", k, r.Counts[k]); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "memory cur=%dB peak=%dB\n", r.MemCur, r.MemPeak)
+	return err
+}

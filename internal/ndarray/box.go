@@ -1,0 +1,189 @@
+// Package ndarray provides N-dimensional index boxes, block decompositions
+// and strided copy routines. These are the geometric core of FlexIO's MxN
+// global-array redistribution: each writer and reader rank owns a Box of the
+// global array, and data movement is driven by box intersections.
+package ndarray
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MaxDims is the maximum number of array dimensions supported. The paper's
+// workloads use 2-D (GTS particle arrays) and 3-D (S3D species arrays);
+// eight matches ADIOS's practical limit.
+const MaxDims = 8
+
+// Box is a half-open N-dimensional index range [Lo[d], Hi[d]) for each
+// dimension d. A Box with Hi[d] <= Lo[d] in any dimension is empty.
+type Box struct {
+	Lo []int64
+	Hi []int64
+}
+
+// NewBox returns a box spanning [lo, hi). It panics if the slices have
+// different lengths or exceed MaxDims, since that is a programming error in
+// the caller, not a runtime condition.
+func NewBox(lo, hi []int64) Box {
+	if len(lo) != len(hi) {
+		panic(fmt.Sprintf("ndarray: NewBox dimension mismatch %d vs %d", len(lo), len(hi)))
+	}
+	if len(lo) > MaxDims {
+		panic(fmt.Sprintf("ndarray: NewBox %d dims exceeds MaxDims=%d", len(lo), MaxDims))
+	}
+	b := Box{Lo: make([]int64, len(lo)), Hi: make([]int64, len(hi))}
+	copy(b.Lo, lo)
+	copy(b.Hi, hi)
+	return b
+}
+
+// BoxFromShape returns the box [0, shape[d]) covering an entire array.
+func BoxFromShape(shape []int64) Box {
+	lo := make([]int64, len(shape))
+	return NewBox(lo, shape)
+}
+
+// NDims reports the number of dimensions.
+func (b Box) NDims() int { return len(b.Lo) }
+
+// Shape returns the extent of the box in each dimension. Negative extents
+// (from an empty box) are clamped to zero.
+func (b Box) Shape() []int64 {
+	s := make([]int64, len(b.Lo))
+	for d := range b.Lo {
+		if b.Hi[d] > b.Lo[d] {
+			s[d] = b.Hi[d] - b.Lo[d]
+		}
+	}
+	return s
+}
+
+// NumElements returns the number of index points inside the box.
+func (b Box) NumElements() int64 {
+	if len(b.Lo) == 0 {
+		return 0
+	}
+	n := int64(1)
+	for d := range b.Lo {
+		ext := b.Hi[d] - b.Lo[d]
+		if ext <= 0 {
+			return 0
+		}
+		n *= ext
+	}
+	return n
+}
+
+// Empty reports whether the box contains no index points.
+func (b Box) Empty() bool { return b.NumElements() == 0 }
+
+// Equal reports whether two boxes cover exactly the same index range.
+func (b Box) Equal(o Box) bool {
+	if len(b.Lo) != len(o.Lo) {
+		return false
+	}
+	for d := range b.Lo {
+		if b.Lo[d] != o.Lo[d] || b.Hi[d] != o.Hi[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether the index point pt lies inside the box.
+func (b Box) Contains(pt []int64) bool {
+	if len(pt) != len(b.Lo) {
+		return false
+	}
+	for d := range pt {
+		if pt[d] < b.Lo[d] || pt[d] >= b.Hi[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsBox reports whether o is entirely inside b. An empty o is
+// contained in any box of the same rank.
+func (b Box) ContainsBox(o Box) bool {
+	if len(o.Lo) != len(b.Lo) {
+		return false
+	}
+	if o.Empty() {
+		return true
+	}
+	for d := range b.Lo {
+		if o.Lo[d] < b.Lo[d] || o.Hi[d] > b.Hi[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect returns the overlap of two boxes and whether it is non-empty.
+func (b Box) Intersect(o Box) (Box, bool) {
+	if len(b.Lo) != len(o.Lo) {
+		return Box{}, false
+	}
+	r := Box{Lo: make([]int64, len(b.Lo)), Hi: make([]int64, len(b.Lo))}
+	for d := range b.Lo {
+		r.Lo[d] = max64(b.Lo[d], o.Lo[d])
+		r.Hi[d] = min64(b.Hi[d], o.Hi[d])
+		if r.Hi[d] <= r.Lo[d] {
+			return Box{}, false
+		}
+	}
+	return r, true
+}
+
+// Offset returns the row-major linear offset of global point pt within the
+// box, i.e. treating the box's own shape as the array layout.
+func (b Box) Offset(pt []int64) int64 {
+	off := int64(0)
+	for d := range b.Lo {
+		off = off*(b.Hi[d]-b.Lo[d]) + (pt[d] - b.Lo[d])
+	}
+	return off
+}
+
+// Strides returns row-major element strides for the box's shape: the last
+// dimension is contiguous.
+func (b Box) Strides() []int64 {
+	n := len(b.Lo)
+	st := make([]int64, n)
+	if n == 0 {
+		return st
+	}
+	st[n-1] = 1
+	for d := n - 2; d >= 0; d-- {
+		st[d] = st[d+1] * (b.Hi[d+1] - b.Lo[d+1])
+	}
+	return st
+}
+
+func (b Box) String() string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for d := range b.Lo {
+		if d > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d:%d", b.Lo[d], b.Hi[d])
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,229 @@
+package ndarray
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewBoxBasics(t *testing.T) {
+	b := NewBox([]int64{1, 2}, []int64{4, 6})
+	if got := b.NDims(); got != 2 {
+		t.Fatalf("NDims = %d, want 2", got)
+	}
+	if got := b.NumElements(); got != 12 {
+		t.Fatalf("NumElements = %d, want 12", got)
+	}
+	if b.Empty() {
+		t.Fatal("box should not be empty")
+	}
+	s := b.Shape()
+	if s[0] != 3 || s[1] != 4 {
+		t.Fatalf("Shape = %v, want [3 4]", s)
+	}
+}
+
+func TestNewBoxCopiesInput(t *testing.T) {
+	lo := []int64{0}
+	hi := []int64{5}
+	b := NewBox(lo, hi)
+	lo[0] = 99
+	hi[0] = 99
+	if b.Lo[0] != 0 || b.Hi[0] != 5 {
+		t.Fatalf("NewBox must copy its inputs, got %v", b)
+	}
+}
+
+func TestNewBoxPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched dims")
+		}
+	}()
+	NewBox([]int64{0}, []int64{1, 2})
+}
+
+func TestBoxFromShape(t *testing.T) {
+	b := BoxFromShape([]int64{3, 4, 5})
+	if got := b.NumElements(); got != 60 {
+		t.Fatalf("NumElements = %d, want 60", got)
+	}
+	for d := 0; d < 3; d++ {
+		if b.Lo[d] != 0 {
+			t.Fatalf("Lo[%d] = %d, want 0", d, b.Lo[d])
+		}
+	}
+}
+
+func TestEmptyBox(t *testing.T) {
+	cases := []Box{
+		NewBox([]int64{5}, []int64{5}),
+		NewBox([]int64{5}, []int64{3}),
+		NewBox([]int64{0, 0}, []int64{10, 0}),
+		{},
+	}
+	for i, b := range cases {
+		if !b.Empty() {
+			t.Errorf("case %d: %v should be empty", i, b)
+		}
+		if b.NumElements() != 0 {
+			t.Errorf("case %d: NumElements = %d, want 0", i, b.NumElements())
+		}
+	}
+}
+
+func TestEmptyBoxShapeClamped(t *testing.T) {
+	b := NewBox([]int64{5, 0}, []int64{3, 4})
+	s := b.Shape()
+	if s[0] != 0 || s[1] != 4 {
+		t.Fatalf("Shape = %v, want [0 4]", s)
+	}
+}
+
+func TestContains(t *testing.T) {
+	b := NewBox([]int64{1, 1}, []int64{4, 4})
+	if !b.Contains([]int64{1, 1}) {
+		t.Error("should contain lower corner")
+	}
+	if b.Contains([]int64{4, 4}) {
+		t.Error("upper bound is exclusive")
+	}
+	if b.Contains([]int64{3}) {
+		t.Error("wrong rank point must not be contained")
+	}
+	if !b.Contains([]int64{3, 3}) {
+		t.Error("should contain interior point")
+	}
+}
+
+func TestContainsBox(t *testing.T) {
+	b := NewBox([]int64{0, 0}, []int64{10, 10})
+	if !b.ContainsBox(NewBox([]int64{2, 3}, []int64{5, 7})) {
+		t.Error("inner box should be contained")
+	}
+	if b.ContainsBox(NewBox([]int64{2, 3}, []int64{5, 11})) {
+		t.Error("overhanging box must not be contained")
+	}
+	if !b.ContainsBox(NewBox([]int64{50, 50}, []int64{50, 50})) {
+		t.Error("empty box of same rank is contained")
+	}
+	if b.ContainsBox(NewBox([]int64{0}, []int64{1})) {
+		t.Error("wrong-rank box must not be contained")
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := NewBox([]int64{0, 0}, []int64{5, 5})
+	b := NewBox([]int64{3, 3}, []int64{8, 8})
+	ov, ok := a.Intersect(b)
+	if !ok {
+		t.Fatal("expected overlap")
+	}
+	want := NewBox([]int64{3, 3}, []int64{5, 5})
+	if !ov.Equal(want) {
+		t.Fatalf("Intersect = %v, want %v", ov, want)
+	}
+	// Disjoint
+	c := NewBox([]int64{5, 0}, []int64{9, 5})
+	if _, ok := a.Intersect(c); ok {
+		t.Fatal("half-open boxes touching at 5 must not intersect")
+	}
+	// Mismatched rank
+	if _, ok := a.Intersect(NewBox([]int64{0}, []int64{1})); ok {
+		t.Fatal("mismatched rank must not intersect")
+	}
+}
+
+func TestOffsetAndStrides(t *testing.T) {
+	b := NewBox([]int64{2, 3}, []int64{5, 7}) // shape 3x4
+	st := b.Strides()
+	if st[0] != 4 || st[1] != 1 {
+		t.Fatalf("Strides = %v, want [4 1]", st)
+	}
+	if got := b.Offset([]int64{2, 3}); got != 0 {
+		t.Fatalf("Offset lower corner = %d, want 0", got)
+	}
+	if got := b.Offset([]int64{3, 5}); got != 6 {
+		t.Fatalf("Offset = %d, want 6", got)
+	}
+	if got := b.Offset([]int64{4, 6}); got != 11 {
+		t.Fatalf("Offset last = %d, want 11", got)
+	}
+}
+
+func TestBoxString(t *testing.T) {
+	b := NewBox([]int64{1, 2}, []int64{3, 4})
+	if got := b.String(); got != "[1:3,2:4]" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// randomBox builds a small random box for property tests.
+func randomBox(r *rand.Rand, nd int) Box {
+	lo := make([]int64, nd)
+	hi := make([]int64, nd)
+	for d := 0; d < nd; d++ {
+		lo[d] = int64(r.Intn(20))
+		hi[d] = lo[d] + int64(r.Intn(20))
+	}
+	return Box{Lo: lo, Hi: hi}
+}
+
+func TestIntersectCommutativeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nd := 1 + r.Intn(4)
+		a := randomBox(r, nd)
+		b := randomBox(r, nd)
+		ab, okAB := a.Intersect(b)
+		ba, okBA := b.Intersect(a)
+		if okAB != okBA {
+			return false
+		}
+		if okAB && !ab.Equal(ba) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntersectContainedProperty(t *testing.T) {
+	// The intersection must be contained in both operands, and every
+	// corner point of the intersection must be in both boxes.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nd := 1 + r.Intn(4)
+		a := randomBox(r, nd)
+		b := randomBox(r, nd)
+		ov, ok := a.Intersect(b)
+		if !ok {
+			return true
+		}
+		if !a.ContainsBox(ov) || !b.ContainsBox(ov) {
+			return false
+		}
+		return a.Contains(ov.Lo) && b.Contains(ov.Lo)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntersectIdempotentProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nd := 1 + r.Intn(4)
+		a := randomBox(r, nd)
+		ov, ok := a.Intersect(a)
+		if a.Empty() {
+			return !ok
+		}
+		return ok && ov.Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,131 @@
+package ndarray
+
+import "fmt"
+
+// Pack copies the elements of region from a source buffer laid out as
+// srcBox (row-major) into a dense destination slice sized for region.
+// elemSize is the per-element byte size. The returned slice aliases dst if
+// dst has sufficient capacity, otherwise a new slice is allocated. Pack is
+// the "pack strides for each receiver" step of the data movement protocol.
+func Pack(dst []byte, src []byte, srcBox, region Box, elemSize int) ([]byte, error) {
+	if !srcBox.ContainsBox(region) {
+		return nil, fmt.Errorf("ndarray: pack region %v not inside source box %v", region, srcBox)
+	}
+	need := region.NumElements() * int64(elemSize)
+	if int64(len(src)) < srcBox.NumElements()*int64(elemSize) {
+		return nil, fmt.Errorf("ndarray: source buffer %d bytes, box %v needs %d",
+			len(src), srcBox, srcBox.NumElements()*int64(elemSize))
+	}
+	if int64(cap(dst)) < need {
+		dst = make([]byte, need)
+	} else {
+		dst = dst[:need]
+	}
+	if need == 0 {
+		return dst, nil
+	}
+	copyRegion(dst, src, srcBox, region, region, elemSize, true)
+	return dst, nil
+}
+
+// Unpack copies a dense packed buffer holding region's elements into a
+// destination buffer laid out as dstBox (row-major). It is the receiver
+// side of Pack ("copies received strides into the target buffer").
+func Unpack(dst []byte, packed []byte, dstBox, region Box, elemSize int) error {
+	if !dstBox.ContainsBox(region) {
+		return fmt.Errorf("ndarray: unpack region %v not inside dest box %v", region, dstBox)
+	}
+	need := region.NumElements() * int64(elemSize)
+	if int64(len(packed)) < need {
+		return fmt.Errorf("ndarray: packed buffer %d bytes, region %v needs %d", len(packed), region, need)
+	}
+	if int64(len(dst)) < dstBox.NumElements()*int64(elemSize) {
+		return fmt.Errorf("ndarray: dest buffer %d bytes, box %v needs %d",
+			len(dst), dstBox, dstBox.NumElements()*int64(elemSize))
+	}
+	if need == 0 {
+		return nil
+	}
+	copyRegion(dst, packed, dstBox, region, region, elemSize, false)
+	return nil
+}
+
+// CopyRegion copies region directly from a source buffer laid out as
+// srcBox into a destination buffer laid out as dstBox, without an
+// intermediate packed form. Used by the shared-memory (xpmem-style)
+// zero-intermediate-copy path.
+func CopyRegion(dst, src []byte, dstBox, srcBox, region Box, elemSize int) error {
+	if !srcBox.ContainsBox(region) || !dstBox.ContainsBox(region) {
+		return fmt.Errorf("ndarray: region %v not inside src %v and dst %v", region, srcBox, dstBox)
+	}
+	if region.Empty() {
+		return nil
+	}
+	// Iterate rows of the region: all dims except the last are looped, the
+	// last dim is a contiguous memmove.
+	nd := region.NDims()
+	rowElems := region.Hi[nd-1] - region.Lo[nd-1]
+	rowBytes := rowElems * int64(elemSize)
+	srcStrides := srcBox.Strides()
+	dstStrides := dstBox.Strides()
+	pt := make([]int64, nd)
+	copy(pt, region.Lo)
+	for {
+		var so, do int64
+		for d := 0; d < nd; d++ {
+			so += (pt[d] - srcBox.Lo[d]) * srcStrides[d]
+			do += (pt[d] - dstBox.Lo[d]) * dstStrides[d]
+		}
+		copy(dst[do*int64(elemSize):do*int64(elemSize)+rowBytes],
+			src[so*int64(elemSize):so*int64(elemSize)+rowBytes])
+		// advance to next row (dims 0..nd-2)
+		d := nd - 2
+		for ; d >= 0; d-- {
+			pt[d]++
+			if pt[d] < region.Hi[d] {
+				break
+			}
+			pt[d] = region.Lo[d]
+		}
+		if d < 0 {
+			return nil
+		}
+	}
+}
+
+// copyRegion implements Pack (packing=true: dst is dense over packedBox)
+// and Unpack (packing=false: src is dense over packedBox).
+func copyRegion(dst, src []byte, stridedBox, region, packedBox Box, elemSize int, packing bool) {
+	nd := region.NDims()
+	rowElems := region.Hi[nd-1] - region.Lo[nd-1]
+	rowBytes := rowElems * int64(elemSize)
+	stridedStrides := stridedBox.Strides()
+	packedStrides := packedBox.Strides()
+	pt := make([]int64, nd)
+	copy(pt, region.Lo)
+	for {
+		var so, po int64
+		for d := 0; d < nd; d++ {
+			so += (pt[d] - stridedBox.Lo[d]) * stridedStrides[d]
+			po += (pt[d] - packedBox.Lo[d]) * packedStrides[d]
+		}
+		sb := so * int64(elemSize)
+		pb := po * int64(elemSize)
+		if packing {
+			copy(dst[pb:pb+rowBytes], src[sb:sb+rowBytes])
+		} else {
+			copy(dst[sb:sb+rowBytes], src[pb:pb+rowBytes])
+		}
+		d := nd - 2
+		for ; d >= 0; d-- {
+			pt[d]++
+			if pt[d] < region.Hi[d] {
+				break
+			}
+			pt[d] = region.Lo[d]
+		}
+		if d < 0 {
+			return
+		}
+	}
+}

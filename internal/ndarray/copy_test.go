@@ -1,0 +1,239 @@
+package ndarray
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// fillBox writes, for every global point in box, a unique value derived
+// from the point's global coordinates into the buffer laid out as box.
+func fillBox(buf []byte, box Box, elemSize int) {
+	nd := box.NDims()
+	pt := make([]int64, nd)
+	copy(pt, box.Lo)
+	strides := box.Strides()
+	for {
+		var off, tag int64
+		for d := 0; d < nd; d++ {
+			off += (pt[d] - box.Lo[d]) * strides[d]
+			tag = tag*1000 + pt[d]
+		}
+		binary.LittleEndian.PutUint32(buf[off*int64(elemSize):], uint32(tag))
+		d := nd - 1
+		for ; d >= 0; d-- {
+			pt[d]++
+			if pt[d] < box.Hi[d] {
+				break
+			}
+			pt[d] = box.Lo[d]
+		}
+		if d < 0 {
+			return
+		}
+	}
+}
+
+// checkBox verifies that every point of region in a buffer laid out as box
+// carries the tag for its global coordinate.
+func checkBox(t *testing.T, buf []byte, box, region Box, elemSize int) {
+	t.Helper()
+	nd := box.NDims()
+	pt := make([]int64, nd)
+	copy(pt, region.Lo)
+	strides := box.Strides()
+	for {
+		var off, tag int64
+		for d := 0; d < nd; d++ {
+			off += (pt[d] - box.Lo[d]) * strides[d]
+			tag = tag*1000 + pt[d]
+		}
+		got := binary.LittleEndian.Uint32(buf[off*int64(elemSize):])
+		if got != uint32(tag) {
+			t.Fatalf("point %v: got %d, want %d", pt, got, uint32(tag))
+		}
+		d := nd - 1
+		for ; d >= 0; d-- {
+			pt[d]++
+			if pt[d] < region.Hi[d] {
+				break
+			}
+			pt[d] = region.Lo[d]
+		}
+		if d < 0 {
+			return
+		}
+	}
+}
+
+func TestPackUnpackRoundTrip2D(t *testing.T) {
+	const es = 4
+	src := NewBox([]int64{0, 0}, []int64{6, 8})
+	dst := NewBox([]int64{2, 2}, []int64{8, 10})
+	region := NewBox([]int64{2, 2}, []int64{6, 8})
+
+	srcBuf := make([]byte, src.NumElements()*es)
+	fillBox(srcBuf, src, es)
+
+	packed, err := Pack(nil, srcBuf, src, region, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(packed)) != region.NumElements()*es {
+		t.Fatalf("packed %d bytes, want %d", len(packed), region.NumElements()*es)
+	}
+
+	dstBuf := make([]byte, dst.NumElements()*es)
+	if err := Unpack(dstBuf, packed, dst, region, es); err != nil {
+		t.Fatal(err)
+	}
+	checkBox(t, dstBuf, dst, region, es)
+}
+
+func TestPackErrors(t *testing.T) {
+	src := NewBox([]int64{0}, []int64{4})
+	if _, err := Pack(nil, make([]byte, 16), src, NewBox([]int64{2}, []int64{6}), 4); err == nil {
+		t.Error("region outside src must error")
+	}
+	if _, err := Pack(nil, make([]byte, 4), src, src, 4); err == nil {
+		t.Error("short src buffer must error")
+	}
+}
+
+func TestUnpackErrors(t *testing.T) {
+	dst := NewBox([]int64{0}, []int64{4})
+	if err := Unpack(make([]byte, 16), make([]byte, 16), dst, NewBox([]int64{2}, []int64{6}), 4); err == nil {
+		t.Error("region outside dst must error")
+	}
+	if err := Unpack(make([]byte, 16), make([]byte, 4), dst, dst, 4); err == nil {
+		t.Error("short packed buffer must error")
+	}
+	if err := Unpack(make([]byte, 4), make([]byte, 16), dst, dst, 4); err == nil {
+		t.Error("short dst buffer must error")
+	}
+}
+
+func TestPackReusesDst(t *testing.T) {
+	src := BoxFromShape([]int64{4, 4})
+	srcBuf := make([]byte, 64)
+	fillBox(srcBuf, src, 4)
+	scratch := make([]byte, 0, 64)
+	packed, err := Pack(scratch, srcBuf, src, src, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &packed[0] != &scratch[:1][0] {
+		t.Error("Pack should reuse a dst with sufficient capacity")
+	}
+}
+
+func TestPackEmptyRegion(t *testing.T) {
+	src := BoxFromShape([]int64{4})
+	packed, err := Pack(nil, make([]byte, 16), src, NewBox([]int64{2}, []int64{2}), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(packed) != 0 {
+		t.Fatalf("packed %d bytes for empty region", len(packed))
+	}
+}
+
+func TestCopyRegionDirect3D(t *testing.T) {
+	const es = 4
+	src := NewBox([]int64{0, 0, 0}, []int64{4, 5, 6})
+	dst := NewBox([]int64{1, 2, 3}, []int64{5, 7, 9})
+	region := NewBox([]int64{1, 2, 3}, []int64{4, 5, 6})
+
+	srcBuf := make([]byte, src.NumElements()*es)
+	fillBox(srcBuf, src, es)
+	dstBuf := make([]byte, dst.NumElements()*es)
+	if err := CopyRegion(dstBuf, srcBuf, dst, src, region, es); err != nil {
+		t.Fatal(err)
+	}
+	checkBox(t, dstBuf, dst, region, es)
+}
+
+func TestCopyRegionErrors(t *testing.T) {
+	a := BoxFromShape([]int64{4})
+	b := BoxFromShape([]int64{2})
+	if err := CopyRegion(make([]byte, 8), make([]byte, 16), b, a, a, 4); err == nil {
+		t.Error("region outside dst must error")
+	}
+}
+
+// TestRedistributionEquivalenceProperty checks that Pack→Unpack between
+// random MxN decompositions reconstructs the full array: the core
+// correctness invariant of FlexIO's global-array redistribution.
+func TestRedistributionEquivalenceProperty(t *testing.T) {
+	const es = 4
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nd := 1 + r.Intn(3)
+		shape := make([]int64, nd)
+		wg := make([]int, nd)
+		rg := make([]int, nd)
+		for d := 0; d < nd; d++ {
+			wg[d] = 1 + r.Intn(3)
+			rg[d] = 1 + r.Intn(3)
+			m := wg[d]
+			if rg[d] > m {
+				m = rg[d]
+			}
+			shape[d] = int64(m + r.Intn(8))
+		}
+		writers, err := BlockDecompose(shape, wg)
+		if err != nil {
+			return false
+		}
+		readers, err := BlockDecompose(shape, rg)
+		if err != nil {
+			return false
+		}
+		// Global reference array.
+		global := BoxFromShape(shape)
+		ref := make([]byte, global.NumElements()*es)
+		fillBox(ref, global, es)
+
+		// Writers own packed copies of their boxes.
+		wbufs := make([][]byte, writers.NumRanks())
+		for w, wb := range writers.Boxes {
+			buf, err := Pack(nil, ref, global, wb, es)
+			if err != nil {
+				return false
+			}
+			wbufs[w] = buf
+		}
+		// Redistribute to readers.
+		rbufs := make([][]byte, readers.NumRanks())
+		for rr, rb := range readers.Boxes {
+			rbufs[rr] = make([]byte, rb.NumElements()*es)
+		}
+		for w, wb := range writers.Boxes {
+			for rr, ov := range Overlaps(wb, readers) {
+				packed, err := Pack(nil, wbufs[w], wb, ov, es)
+				if err != nil {
+					return false
+				}
+				if err := Unpack(rbufs[rr], packed, readers.Boxes[rr], ov, es); err != nil {
+					return false
+				}
+			}
+		}
+		// Each reader buffer must byte-equal the reference region.
+		for rr, rb := range readers.Boxes {
+			want, err := Pack(nil, ref, global, rb, es)
+			if err != nil {
+				return false
+			}
+			if !bytes.Equal(rbufs[rr], want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,159 @@
+package ndarray
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Decomposition describes how a global N-d array is split into per-rank
+// boxes. It is the information exchanged during FlexIO's handshake protocol
+// (Steps 1-3 in the paper): once every process knows the peer side's
+// decomposition it can compute the MxN mapping independently.
+type Decomposition struct {
+	Global Box   // full index space of the array
+	Boxes  []Box // Boxes[r] is the region owned by rank r; may be empty
+}
+
+// NumRanks reports the number of ranks in the decomposition.
+func (d *Decomposition) NumRanks() int { return len(d.Boxes) }
+
+// Validate checks that every rank box lies inside the global box and that
+// no two boxes overlap. It does not require the boxes to tile the global
+// space (readers may request sub-regions).
+func (d *Decomposition) Validate() error {
+	for r, b := range d.Boxes {
+		if b.Empty() {
+			continue
+		}
+		if !d.Global.ContainsBox(b) {
+			return fmt.Errorf("ndarray: rank %d box %v outside global %v", r, b, d.Global)
+		}
+		for q := r + 1; q < len(d.Boxes); q++ {
+			if ov, ok := b.Intersect(d.Boxes[q]); ok {
+				return fmt.Errorf("ndarray: rank %d and %d overlap on %v", r, q, ov)
+			}
+		}
+	}
+	return nil
+}
+
+// Covers reports whether the union of rank boxes exactly tiles the global
+// box (element counts match and Validate passes).
+func (d *Decomposition) Covers() bool {
+	if d.Validate() != nil {
+		return false
+	}
+	var total int64
+	for _, b := range d.Boxes {
+		total += b.NumElements()
+	}
+	return total == d.Global.NumElements()
+}
+
+// BlockDecompose splits the global shape into a grid of procGrid[d] blocks
+// per dimension, in row-major rank order. Remainder elements are spread
+// over the leading blocks of each dimension, matching the usual HPC block
+// distribution. It returns an error when the grid rank does not match the
+// shape rank or a grid dimension is not positive.
+func BlockDecompose(shape []int64, procGrid []int) (*Decomposition, error) {
+	if len(procGrid) != len(shape) {
+		return nil, fmt.Errorf("ndarray: grid rank %d != shape rank %d", len(procGrid), len(shape))
+	}
+	nranks := 1
+	for d, p := range procGrid {
+		if p <= 0 {
+			return nil, fmt.Errorf("ndarray: grid dim %d is %d, want > 0", d, p)
+		}
+		nranks *= p
+	}
+	dec := &Decomposition{Global: BoxFromShape(shape), Boxes: make([]Box, nranks)}
+	coord := make([]int, len(shape))
+	for r := 0; r < nranks; r++ {
+		lo := make([]int64, len(shape))
+		hi := make([]int64, len(shape))
+		for d := range shape {
+			lo[d], hi[d] = blockRange(shape[d], procGrid[d], coord[d])
+		}
+		dec.Boxes[r] = Box{Lo: lo, Hi: hi}
+		// advance row-major coordinate (last dim fastest)
+		for d := len(coord) - 1; d >= 0; d-- {
+			coord[d]++
+			if coord[d] < procGrid[d] {
+				break
+			}
+			coord[d] = 0
+		}
+	}
+	return dec, nil
+}
+
+// blockRange returns the [lo, hi) range of block i out of p blocks over n
+// elements, spreading the remainder across leading blocks.
+func blockRange(n int64, p, i int) (int64, int64) {
+	base := n / int64(p)
+	rem := n % int64(p)
+	var lo int64
+	if int64(i) < rem {
+		lo = int64(i) * (base + 1)
+		return lo, lo + base + 1
+	}
+	lo = rem*(base+1) + (int64(i)-rem)*base
+	return lo, lo + base
+}
+
+// FactorGrid factors nranks into a process grid of the given rank that is
+// as close to cubic as possible, largest factors first. This mirrors
+// MPI_Dims_create and is used by the application proxies to build their
+// logical process layouts.
+func FactorGrid(nranks, ndims int) []int {
+	grid := make([]int, ndims)
+	for i := range grid {
+		grid[i] = 1
+	}
+	if nranks <= 0 || ndims <= 0 {
+		return grid
+	}
+	primes := factorize(nranks)
+	// Distribute factors largest-first onto the currently smallest grid dim.
+	sort.Sort(sort.Reverse(sort.IntSlice(primes)))
+	for _, f := range primes {
+		mi := 0
+		for d := 1; d < ndims; d++ {
+			if grid[d] < grid[mi] {
+				mi = d
+			}
+		}
+		grid[mi] *= f
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(grid)))
+	return grid
+}
+
+func factorize(n int) []int {
+	var fs []int
+	for f := 2; f*f <= n; f++ {
+		for n%f == 0 {
+			fs = append(fs, f)
+			n /= f
+		}
+	}
+	if n > 1 {
+		fs = append(fs, n)
+	}
+	return fs
+}
+
+// Overlaps computes, for one rank's box on the sender side, the pieces it
+// must send to each receiver rank: the intersection of senderBox with each
+// receiver box. The result maps receiver rank to the overlap box, omitting
+// empty overlaps. This is the per-process mapping computation of the
+// FlexIO data movement protocol (Step 4).
+func Overlaps(senderBox Box, readers *Decomposition) map[int]Box {
+	out := make(map[int]Box)
+	for r, rb := range readers.Boxes {
+		if ov, ok := senderBox.Intersect(rb); ok {
+			out[r] = ov
+		}
+	}
+	return out
+}

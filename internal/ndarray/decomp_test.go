@@ -1,0 +1,224 @@
+package ndarray
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockDecompose2D(t *testing.T) {
+	dec, err := BlockDecompose([]int64{9, 6}, []int{3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.NumRanks() != 9 {
+		t.Fatalf("NumRanks = %d, want 9", dec.NumRanks())
+	}
+	if err := dec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Covers() {
+		t.Fatal("block decomposition must tile the global box")
+	}
+	// Rank 0 gets the leading block: rows [0,3), cols [0,2).
+	want := NewBox([]int64{0, 0}, []int64{3, 2})
+	if !dec.Boxes[0].Equal(want) {
+		t.Fatalf("rank 0 box = %v, want %v", dec.Boxes[0], want)
+	}
+	// Row-major rank order: rank 1 is next column block.
+	want = NewBox([]int64{0, 2}, []int64{3, 4})
+	if !dec.Boxes[1].Equal(want) {
+		t.Fatalf("rank 1 box = %v, want %v", dec.Boxes[1], want)
+	}
+}
+
+func TestBlockDecomposeRemainder(t *testing.T) {
+	// 10 elements over 3 blocks: 4, 3, 3.
+	dec, err := BlockDecompose([]int64{10}, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSizes := []int64{4, 3, 3}
+	for r, w := range wantSizes {
+		if got := dec.Boxes[r].NumElements(); got != w {
+			t.Errorf("rank %d size = %d, want %d", r, got, w)
+		}
+	}
+	if !dec.Covers() {
+		t.Fatal("must cover")
+	}
+}
+
+func TestBlockDecomposeErrors(t *testing.T) {
+	if _, err := BlockDecompose([]int64{4, 4}, []int{2}); err == nil {
+		t.Error("rank mismatch must error")
+	}
+	if _, err := BlockDecompose([]int64{4}, []int{0}); err == nil {
+		t.Error("zero grid dim must error")
+	}
+}
+
+func TestBlockDecomposeCoversProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nd := 1 + r.Intn(3)
+		shape := make([]int64, nd)
+		grid := make([]int, nd)
+		for d := 0; d < nd; d++ {
+			grid[d] = 1 + r.Intn(4)
+			shape[d] = int64(grid[d]) + int64(r.Intn(20))
+		}
+		dec, err := BlockDecompose(shape, grid)
+		if err != nil {
+			return false
+		}
+		return dec.Covers()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFactorGrid(t *testing.T) {
+	cases := []struct {
+		n, nd int
+		want  []int
+	}{
+		{12, 2, []int{4, 3}},
+		{8, 3, []int{2, 2, 2}},
+		{1, 2, []int{1, 1}},
+		{7, 2, []int{7, 1}},
+		{64, 3, []int{4, 4, 4}},
+	}
+	for _, c := range cases {
+		got := FactorGrid(c.n, c.nd)
+		prod := 1
+		for _, g := range got {
+			prod *= g
+		}
+		if prod != c.n {
+			t.Errorf("FactorGrid(%d,%d) = %v: product %d != %d", c.n, c.nd, got, prod, c.n)
+		}
+		for i, w := range c.want {
+			if got[i] != w {
+				t.Errorf("FactorGrid(%d,%d) = %v, want %v", c.n, c.nd, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestFactorGridProductProperty(t *testing.T) {
+	f := func(n uint8, nd uint8) bool {
+		ranks := int(n%200) + 1
+		dims := int(nd%4) + 1
+		g := FactorGrid(ranks, dims)
+		prod := 1
+		for _, x := range g {
+			prod *= x
+		}
+		return prod == ranks && len(g) == dims
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverlapsMxN(t *testing.T) {
+	// A 2-D array split among 9 writers, read by 2 readers split along
+	// rows, mirroring Figure 3 of the paper.
+	writers, err := BlockDecompose([]int64{6, 6}, []int{3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	readers, err := BlockDecompose([]int64{6, 6}, []int{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Writer 0 owns rows [0,2) — entirely inside reader 0's rows [0,3).
+	ov := Overlaps(writers.Boxes[0], readers)
+	if len(ov) != 1 {
+		t.Fatalf("writer 0 overlaps %d readers, want 1", len(ov))
+	}
+	if !ov[0].Equal(writers.Boxes[0]) {
+		t.Fatalf("overlap = %v, want writer box %v", ov[0], writers.Boxes[0])
+	}
+	// Middle-row writer (rank 3, rows [2,4)) straddles both readers.
+	ov = Overlaps(writers.Boxes[3], readers)
+	if len(ov) != 2 {
+		t.Fatalf("writer 3 overlaps %d readers, want 2", len(ov))
+	}
+	// Total elements transferred must equal total elements written.
+	var moved int64
+	for w := range writers.Boxes {
+		for _, b := range Overlaps(writers.Boxes[w], readers) {
+			moved += b.NumElements()
+		}
+	}
+	if moved != 36 {
+		t.Fatalf("moved %d elements, want 36", moved)
+	}
+}
+
+func TestOverlapsConservationProperty(t *testing.T) {
+	// For random tiling decompositions on both sides, the sum of overlap
+	// elements equals the global element count (no data lost, none
+	// duplicated).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nd := 1 + r.Intn(3)
+		shape := make([]int64, nd)
+		wg := make([]int, nd)
+		rg := make([]int, nd)
+		for d := 0; d < nd; d++ {
+			wg[d] = 1 + r.Intn(3)
+			rg[d] = 1 + r.Intn(3)
+			m := wg[d]
+			if rg[d] > m {
+				m = rg[d]
+			}
+			shape[d] = int64(m + r.Intn(10))
+		}
+		writers, err := BlockDecompose(shape, wg)
+		if err != nil {
+			return false
+		}
+		readers, err := BlockDecompose(shape, rg)
+		if err != nil {
+			return false
+		}
+		var moved int64
+		for w := range writers.Boxes {
+			for _, b := range Overlaps(writers.Boxes[w], readers) {
+				moved += b.NumElements()
+			}
+		}
+		return moved == writers.Global.NumElements()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateDetectsOverlap(t *testing.T) {
+	dec := &Decomposition{
+		Global: BoxFromShape([]int64{10}),
+		Boxes: []Box{
+			NewBox([]int64{0}, []int64{6}),
+			NewBox([]int64{5}, []int64{10}),
+		},
+	}
+	if err := dec.Validate(); err == nil {
+		t.Fatal("overlapping boxes must fail validation")
+	}
+}
+
+func TestValidateDetectsOutOfBounds(t *testing.T) {
+	dec := &Decomposition{
+		Global: BoxFromShape([]int64{10}),
+		Boxes:  []Box{NewBox([]int64{5}, []int64{12})},
+	}
+	if err := dec.Validate(); err == nil {
+		t.Fatal("out-of-bounds box must fail validation")
+	}
+}

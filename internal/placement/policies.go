@@ -1,0 +1,236 @@
+package placement
+
+import (
+	"fmt"
+	"math"
+
+	"flexio/internal/graph"
+)
+
+// --- Resource allocation (Section III.B.2) ---
+
+// SyncAllocation sizes the analytics so its data consumption rate matches
+// the simulation's generation rate: the smallest process count p with
+// anaStepTime(p) <= simInterval, minimizing pipeline stalls. anaStepTime
+// is the profiled strong-scaling function of the analytics. Returns maxP
+// (clamped) if even maxP cannot keep up.
+func SyncAllocation(anaStepTime func(p int) float64, simInterval float64, maxP int) int {
+	if maxP < 1 {
+		maxP = 1
+	}
+	for p := 1; p <= maxP; p++ {
+		if anaStepTime(p) <= simInterval {
+			return p
+		}
+	}
+	return maxP
+}
+
+// AsyncAllocation sizes analytics for asynchronous movement: data
+// movement time plus analytics computation must fit inside the
+// simulation's I/O interval. Movement time is estimated conservatively as
+// total data size over point-to-point RDMA bandwidth (sequential
+// arrival), which the paper notes may over-provision — acceptable
+// because analytics is far smaller than the simulation.
+func AsyncAllocation(bytesPerStep, p2pBandwidth float64, anaStepTime func(p int) float64, ioInterval float64, maxP int) int {
+	if maxP < 1 {
+		maxP = 1
+	}
+	move := 0.0
+	if p2pBandwidth > 0 {
+		move = bytesPerStep / p2pBandwidth
+	}
+	budget := ioInterval - move
+	for p := 1; p <= maxP; p++ {
+		if anaStepTime(p) <= budget {
+			return p
+		}
+	}
+	return maxP
+}
+
+// --- Resource binding policies ---
+
+// DataAware implements the data-aware mapping algorithm [51]: it
+// considers ONLY the inter-program communication matrix, partitions the
+// combined process set into as many groups as nodes, and maps each group
+// to a node with each process on one core. interOnly must be the comm
+// graph restricted to sim<->analytics edges; the full spec graph is used
+// for nothing here (that blindness to internal MPI is exactly what the
+// holistic policy fixes).
+func DataAware(spec *Spec, interOnly *graph.Graph) (*Placement, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if interOnly == nil || interOnly.N != spec.NSim+spec.NAna {
+		return nil, fmt.Errorf("placement: inter-program graph must have %d vertices", spec.NSim+spec.NAna)
+	}
+	return bindByPartition(spec, interOnly, false, "data-aware")
+}
+
+// Holistic implements holistic placement: binding uses the full
+// communication graph (inter- AND intra-program) mapped onto the
+// two-level machine tree.
+func Holistic(spec *Spec) (*Placement, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return bindByPartition(spec, spec.Comm, false, "holistic")
+}
+
+// TopologyAware extends holistic placement with the full cache-hierarchy
+// tree: processes are additionally partitioned across NUMA domains inside
+// each node, and FlexIO's shm buffers are pinned to producers' domains.
+func TopologyAware(spec *Spec) (*Placement, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	p, err := bindByPartition(spec, spec.Comm, true, "node-topology-aware")
+	if err != nil {
+		return nil, err
+	}
+	p.NUMAPinnedBuffers = true
+	return p, nil
+}
+
+// bindByPartition is the shared binding engine: partition processes into
+// node groups by communication affinity (capacity = cores per node), then
+// lay each group out on its node (linearly, or NUMA-aware).
+func bindByPartition(spec *Spec, g *graph.Graph, topoAware bool, policy string) (*Placement, error) {
+	m := spec.Machine
+	n := spec.NSim + spec.NAna
+	verts := make([]int, n)
+	for i := range verts {
+		verts[i] = i
+	}
+	// Use only as many nodes as needed (ceil of core demand), not the
+	// whole machine: unnecessary spreading inflates CPU-hours.
+	need := spec.NSim*spec.threads() + spec.NAna
+	nodes := (need + m.Node.Cores - 1) / m.Node.Cores
+	if nodes > m.NumNodes {
+		return nil, fmt.Errorf("placement: need %d nodes, machine has %d", nodes, m.NumNodes)
+	}
+	// Give the partitioner a little slack (one extra node if available)
+	// so multi-core sim processes don't wedge on fragmentation, then
+	// prefer the tighter solution when both work.
+	best, bestCost := (*Placement)(nil), math.Inf(1)
+	for _, tryNodes := range []int{nodes, nodes + 1} {
+		if tryNodes > m.NumNodes {
+			continue
+		}
+		caps := make([]int, tryNodes)
+		for i := range caps {
+			caps[i] = m.Node.Cores
+		}
+		part, err := graph.PartitionWeighted(g, verts, spec.sizes(), caps)
+		if err != nil {
+			continue
+		}
+		p := &Placement{
+			Spec:    spec,
+			Policy:  policy,
+			SimCore: make([]int, spec.NSim),
+			AnaCore: make([]int, spec.NAna),
+		}
+		failed := false
+		for node := 0; node < tryNodes; node++ {
+			var group []int
+			for i, pt := range part {
+				if pt == node {
+					group = append(group, verts[i])
+				}
+			}
+			if len(group) == 0 {
+				continue
+			}
+			if err := layoutGroup(spec, group, node, topoAware, p.SimCore, p.AnaCore); err != nil {
+				failed = true
+				break
+			}
+		}
+		if failed {
+			continue
+		}
+		if err := p.Validate(); err != nil {
+			continue
+		}
+		cost := p.CommCost(topoAware)
+		if cost < bestCost {
+			best, bestCost = p, cost
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("placement: %s found no feasible binding", policy)
+	}
+	return best, nil
+}
+
+// InlinePlacement builds the baseline where analytics is called directly
+// from simulation processes: sim processes fill whole nodes and there are
+// no separate analytics processes (NAna must be 0 in the spec's inline
+// variant, or analytics vertices are co-located with their sim ranks).
+func InlinePlacement(spec *Spec) (*Placement, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	m := spec.Machine
+	perNode := m.Node.Cores / spec.threads()
+	if perNode < 1 {
+		return nil, fmt.Errorf("placement: %d threads exceed node cores", spec.threads())
+	}
+	p := &Placement{
+		Spec:            spec,
+		Policy:          "inline",
+		SimCore:         make([]int, spec.NSim),
+		AnaCore:         make([]int, spec.NAna),
+		InlineAnalytics: true,
+	}
+	for i := 0; i < spec.NSim; i++ {
+		node := i / perNode
+		slot := i % perNode
+		p.SimCore[i] = node*m.Node.Cores + slot*spec.threads()
+	}
+	// Analytics vertices (if any) sit "inside" their sim ranks: core of
+	// sim rank i for analytics i (used only for cost evaluation; inline
+	// analytics is a function call, not a process).
+	for i := 0; i < spec.NAna; i++ {
+		p.AnaCore[i] = p.SimCore[i%spec.NSim]
+	}
+	return p, nil
+}
+
+// StagingPlacement builds the fixed baseline that packs simulation
+// processes onto their own nodes and analytics onto separate nodes.
+func StagingPlacement(spec *Spec) (*Placement, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	m := spec.Machine
+	perNode := m.Node.Cores / spec.threads()
+	if perNode < 1 {
+		return nil, fmt.Errorf("placement: %d threads exceed node cores", spec.threads())
+	}
+	p := &Placement{
+		Spec:    spec,
+		Policy:  "staging",
+		SimCore: make([]int, spec.NSim),
+		AnaCore: make([]int, spec.NAna),
+	}
+	simNodes := (spec.NSim + perNode - 1) / perNode
+	for i := 0; i < spec.NSim; i++ {
+		node := i / perNode
+		slot := i % perNode
+		p.SimCore[i] = node*m.Node.Cores + slot*spec.threads()
+	}
+	for i := 0; i < spec.NAna; i++ {
+		node := simNodes + i/m.Node.Cores
+		if node >= m.NumNodes {
+			return nil, fmt.Errorf("placement: staging needs node %d, machine has %d", node, m.NumNodes)
+		}
+		p.AnaCore[i] = node*m.Node.Cores + i%m.Node.Cores
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,389 @@
+package rdma
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"flexio/internal/machine"
+)
+
+func testFabric() *Fabric {
+	return NewFabric(machine.Titan(2).Net)
+}
+
+func TestAttachLookupDetach(t *testing.T) {
+	f := testFabric()
+	a, err := f.Attach("a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Attach("a", 0); err == nil {
+		t.Fatal("duplicate attach must fail")
+	}
+	got, err := f.Lookup("a")
+	if err != nil || got != a {
+		t.Fatalf("Lookup = %v, %v", got, err)
+	}
+	f.Detach(a)
+	if _, err := f.Lookup("a"); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("lookup after detach = %v, want ErrUnknownPeer", err)
+	}
+}
+
+func TestRegisterGetPut(t *testing.T) {
+	f := testFabric()
+	a, _ := f.Attach("a", 0)
+	b, _ := f.Attach("b", 1)
+
+	src := []byte("the quick brown fox")
+	sreg, cost, err := a.RegisterMemory(src)
+	if err != nil || cost <= 0 {
+		t.Fatalf("register: cost=%g err=%v", cost, err)
+	}
+	dst := make([]byte, len(src))
+	dreg, _, err := b.RegisterMemory(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	xc, err := b.Get(sreg.Handle(), 0, dreg, 0, len(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, src) {
+		t.Fatalf("Get copied %q, want %q", dst, src)
+	}
+	if want := f.XferCost(len(src)); xc != want {
+		t.Fatalf("xfer cost = %g, want %g", xc, want)
+	}
+
+	// Put back a modified prefix.
+	copy(dst, "THE QUICK")
+	if _, err := b.Put(dreg, 0, sreg.Handle(), 0, 9); err != nil {
+		t.Fatal(err)
+	}
+	if string(src[:9]) != "THE QUICK" {
+		t.Fatalf("Put result = %q", src[:9])
+	}
+}
+
+func TestGetPartialRange(t *testing.T) {
+	f := testFabric()
+	a, _ := f.Attach("a", 0)
+	b, _ := f.Attach("b", 1)
+	src := []byte("0123456789")
+	sreg, _, _ := a.RegisterMemory(src)
+	dst := make([]byte, 4)
+	dreg, _, _ := b.RegisterMemory(dst)
+	if _, err := b.Get(sreg.Handle(), 3, dreg, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if string(dst) != "3456" {
+		t.Fatalf("partial get = %q", dst)
+	}
+}
+
+func TestGetErrors(t *testing.T) {
+	f := testFabric()
+	a, _ := f.Attach("a", 0)
+	b, _ := f.Attach("b", 1)
+	src := make([]byte, 8)
+	sreg, _, _ := a.RegisterMemory(src)
+	dst := make([]byte, 8)
+	dreg, _, _ := b.RegisterMemory(dst)
+
+	if _, err := b.Get(sreg.Handle(), 4, dreg, 0, 8); !errors.Is(err, ErrOutOfBounds) {
+		t.Errorf("remote OOB = %v", err)
+	}
+	if _, err := b.Get(sreg.Handle(), 0, dreg, 4, 8); !errors.Is(err, ErrOutOfBounds) {
+		t.Errorf("local OOB = %v", err)
+	}
+	if _, err := b.Get(Handle(9999), 0, dreg, 0, 4); !errors.Is(err, ErrBadHandle) {
+		t.Errorf("bad handle = %v", err)
+	}
+	a.UnregisterMemory(sreg)
+	if _, err := b.Get(sreg.Handle(), 0, dreg, 0, 4); !errors.Is(err, ErrBadHandle) {
+		t.Errorf("unregistered handle = %v", err)
+	}
+	if _, err := b.Get(sreg.Handle(), 0, nil, 0, 4); !errors.Is(err, ErrNotRegistered) {
+		t.Errorf("nil local region = %v", err)
+	}
+	if err := a.UnregisterMemory(sreg); !errors.Is(err, ErrNotRegistered) {
+		t.Errorf("double unregister = %v", err)
+	}
+}
+
+func TestDetachInvalidatesRegions(t *testing.T) {
+	f := testFabric()
+	a, _ := f.Attach("a", 0)
+	b, _ := f.Attach("b", 1)
+	sreg, _, _ := a.RegisterMemory(make([]byte, 16))
+	dreg, _, _ := b.RegisterMemory(make([]byte, 16))
+	f.Detach(a)
+	if _, err := b.Get(sreg.Handle(), 0, dreg, 0, 8); !errors.Is(err, ErrBadHandle) {
+		t.Fatalf("region must die with endpoint, got %v", err)
+	}
+}
+
+func TestMessageQueue(t *testing.T) {
+	f := testFabric()
+	a, _ := f.Attach("a", 0)
+	b, _ := f.Attach("b", 1)
+	if _, err := a.SendMsg(b, []byte("ctrl")); err != nil {
+		t.Fatal(err)
+	}
+	msg, ok := b.RecvMsg()
+	if !ok || string(msg) != "ctrl" {
+		t.Fatalf("RecvMsg = %q, %v", msg, ok)
+	}
+	if _, ok := b.TryRecvMsg(); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestMessageQueueFull(t *testing.T) {
+	f := testFabric()
+	a, _ := f.Attach("a", 0)
+	b, _ := f.Attach("b", 1)
+	for i := 0; i < MsgQueueDepth; i++ {
+		if _, err := a.SendMsg(b, []byte{1}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if _, err := a.SendMsg(b, []byte{1}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("full queue = %v, want ErrQueueFull", err)
+	}
+}
+
+func TestMessageQueueClosed(t *testing.T) {
+	f := testFabric()
+	a, _ := f.Attach("a", 0)
+	b, _ := f.Attach("b", 1)
+	f.Detach(b)
+	if _, err := a.SendMsg(b, []byte{1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send to closed = %v", err)
+	}
+	if _, ok := b.RecvMsg(); ok {
+		t.Fatal("recv on closed must report !ok")
+	}
+}
+
+func TestMsgCopiesPayload(t *testing.T) {
+	f := testFabric()
+	a, _ := f.Attach("a", 0)
+	b, _ := f.Attach("b", 1)
+	buf := []byte("mutable")
+	a.SendMsg(b, buf)
+	buf[0] = 'X'
+	msg, _ := b.RecvMsg()
+	if string(msg) != "mutable" {
+		t.Fatal("SendMsg must copy the payload")
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	f := testFabric()
+	// Costs grow with size and registration dominates for small dynamic
+	// transfers.
+	if f.RegCost(4096) >= f.RegCost(1<<20) {
+		t.Error("registration cost must grow with pages")
+	}
+	if f.XferCost(1) >= f.XferCost(1<<20) {
+		t.Error("transfer cost must grow with bytes")
+	}
+	small := f.XferCost(1024)
+	if f.RegCost(1024) < small/100 {
+		t.Error("registration should be a visible fraction of small-transfer cost")
+	}
+}
+
+func TestRegCacheHitsAndReclaim(t *testing.T) {
+	f := testFabric()
+	ep, _ := f.Attach("a", 0)
+	c := NewRegCache(ep, 8192)
+	r1, cost1, err := c.Acquire(4096)
+	if err != nil || cost1 <= 0 {
+		t.Fatalf("first acquire: %g, %v", cost1, err)
+	}
+	c.Release(r1)
+	r2, cost2, err := c.Acquire(4000) // same class
+	if err != nil || cost2 != 0 {
+		t.Fatalf("cache hit must be free, got %g, %v", cost2, err)
+	}
+	if r2 != r1 {
+		t.Fatal("expected region reuse")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Exceed threshold: 8K retained max; park two 8K regions.
+	r3, _, _ := c.Acquire(8192)
+	r4, _, _ := c.Acquire(8192)
+	c.Release(r3)
+	c.Release(r4) // 16K > 8K threshold -> reclaim
+	if got := c.Stats().Reclaims; got != 1 {
+		t.Fatalf("Reclaims = %d, want 1", got)
+	}
+}
+
+func TestRegCacheDrain(t *testing.T) {
+	f := testFabric()
+	ep, _ := f.Attach("a", 0)
+	peer, _ := f.Attach("b", 1)
+	c := NewRegCache(ep, 0)
+	r, _, _ := c.Acquire(4096)
+	h := r.Handle()
+	c.Release(r)
+	c.Drain()
+	dst, _, _ := peer.RegisterMemory(make([]byte, 16))
+	if _, err := peer.Get(h, 0, dst, 0, 8); !errors.Is(err, ErrBadHandle) {
+		t.Fatalf("drained region must be unregistered, got %v", err)
+	}
+	if c.Stats().BytesRetained != 0 {
+		t.Fatal("retained bytes must be zero after drain")
+	}
+}
+
+func TestGetSchedulerBound(t *testing.T) {
+	s := NewGetScheduler(3, 0)
+	var wg sync.WaitGroup
+	gate := make(chan struct{})
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Do(func() error {
+				<-gate
+				return nil
+			})
+		}()
+	}
+	// Give the workers a chance to saturate the bound, then release.
+	for {
+		inflight, _, _ := s.Stats()
+		if inflight == 3 {
+			break
+		}
+	}
+	close(gate)
+	wg.Wait()
+	_, peak, total := s.Stats()
+	if peak > 3 {
+		t.Fatalf("peak inflight %d exceeded bound 3", peak)
+	}
+	if total != 10 {
+		t.Fatalf("total = %d, want 10", total)
+	}
+}
+
+func TestGetSchedulerPacingDefaults(t *testing.T) {
+	if s := NewGetScheduler(0, -1); s.MaxInflight() != 1 || s.PacingFraction != 1 {
+		t.Fatalf("defaults: inflight=%d pacing=%g", s.MaxInflight(), s.PacingFraction)
+	}
+}
+
+func TestFetchAll(t *testing.T) {
+	f := testFabric()
+	a, _ := f.Attach("a", 0)
+	b, _ := f.Attach("b", 1)
+	src := make([]byte, 1024)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	sreg, _, _ := a.RegisterMemory(src)
+	dst := make([]byte, 1024)
+	dreg, _, _ := b.RegisterMemory(dst)
+	var descs []GetDesc
+	for off := 0; off < 1024; off += 256 {
+		descs = append(descs, GetDesc{
+			Remote: sreg.Handle(), RemoteOff: off,
+			Local: dreg, LocalOff: off, N: 256,
+		})
+	}
+	s := NewGetScheduler(2, 0)
+	cost, err := s.FetchAll(b, descs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, src) {
+		t.Fatal("FetchAll data mismatch")
+	}
+	if want := 4 * f.XferCost(256); cost != want {
+		t.Fatalf("cost = %g, want %g", cost, want)
+	}
+}
+
+func TestFetchAllPropagatesError(t *testing.T) {
+	f := testFabric()
+	b, _ := f.Attach("b", 1)
+	dst := make([]byte, 64)
+	dreg, _, _ := b.RegisterMemory(dst)
+	s := NewGetScheduler(2, 0)
+	_, err := s.FetchAll(b, []GetDesc{{Remote: Handle(404), Local: dreg, N: 8}})
+	if !errors.Is(err, ErrBadHandle) {
+		t.Fatalf("err = %v, want ErrBadHandle", err)
+	}
+}
+
+func TestMeasureGetBandwidthShapes(t *testing.T) {
+	f := testFabric()
+	sizes := []int{1 << 10, 64 << 10, 1 << 20, 16 << 20}
+	var prevDyn, prevStat float64
+	for _, sz := range sizes {
+		dyn, err := MeasureGetBandwidth(f, sz, 4, DynamicRegistration)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stat, err := MeasureGetBandwidth(f, sz, 4, StaticRegistration)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stat.BandwidthBs <= dyn.BandwidthBs {
+			t.Errorf("size %d: static (%.0f) must beat dynamic (%.0f)", sz, stat.BandwidthBs, dyn.BandwidthBs)
+		}
+		if dyn.BandwidthBs < prevDyn || stat.BandwidthBs < prevStat {
+			t.Errorf("size %d: bandwidth should be non-decreasing with size", sz)
+		}
+		prevDyn, prevStat = dyn.BandwidthBs, stat.BandwidthBs
+	}
+	// At large sizes the curves converge (Figure 4's shape): the gap at
+	// 16 MiB is proportionally far smaller than at 1 KiB.
+	dynS, _ := MeasureGetBandwidth(f, 1<<10, 4, DynamicRegistration)
+	statS, _ := MeasureGetBandwidth(f, 1<<10, 4, StaticRegistration)
+	dynL, _ := MeasureGetBandwidth(f, 16<<20, 4, DynamicRegistration)
+	statL, _ := MeasureGetBandwidth(f, 16<<20, 4, StaticRegistration)
+	gapSmall := statS.BandwidthBs / dynS.BandwidthBs
+	gapLarge := statL.BandwidthBs / dynL.BandwidthBs
+	if gapSmall < 2*gapLarge {
+		t.Errorf("registration penalty should fade with size: small gap %.2fx, large gap %.2fx", gapSmall, gapLarge)
+	}
+}
+
+func TestMeasureGetBandwidthCachedMatchesStatic(t *testing.T) {
+	f := testFabric()
+	cached, err := MeasureGetBandwidth(f, 1<<20, 16, CachedRegistration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := MeasureGetBandwidth(f, 1<<20, 16, StaticRegistration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := cached.BandwidthBs / static.BandwidthBs
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("cached (%.0f) should approximate static (%.0f) after warmup", cached.BandwidthBs, static.BandwidthBs)
+	}
+}
+
+func TestMeasureGetBandwidthErrors(t *testing.T) {
+	f := testFabric()
+	if _, err := MeasureGetBandwidth(f, 0, 4, StaticRegistration); err == nil {
+		t.Error("zero size must error")
+	}
+	if _, err := MeasureGetBandwidth(f, 1024, 4, RegistrationMode(42)); err == nil {
+		t.Error("unknown mode must error")
+	}
+}

@@ -1,0 +1,244 @@
+package shm
+
+import (
+	"encoding/binary"
+	"sync"
+)
+
+// Message kinds carried in the control queue.
+const (
+	msgInline byte = 1 // payload lives in the queue slot itself
+	msgPooled byte = 2 // payload lives in a pool buffer; async, two copies
+	msgXpmem  byte = 3 // payload is the producer's own buffer; sync, one copy
+)
+
+const ctlHeader = 1 + 8 // kind + buffer id or inline length
+
+// ChannelStats counts transport activity for the performance monitor.
+type ChannelStats struct {
+	MessagesSent  int64
+	BytesSent     int64
+	InlineSends   int64
+	PooledSends   int64
+	ZeroCopySends int64
+}
+
+// Channel is a one-directional intra-node transport between one producer
+// and one consumer, combining the paper's three mechanisms: small messages
+// travel inline through the FastForward data queue; large asynchronous
+// messages go through the producer's shared buffer pool (two copies); and
+// large synchronous messages use the XPMEM-style path where the consumer
+// copies directly out of the producer's source buffer (one copy).
+type Channel struct {
+	q    *Queue
+	pool *BufferPool
+
+	inlineMax int
+
+	mu          sync.Mutex
+	outstanding map[uint64]*outEntry
+	nextID      uint64
+
+	stats struct {
+		sync.Mutex
+		ChannelStats
+	}
+}
+
+type outEntry struct {
+	buf  []byte
+	done chan struct{} // non-nil for zero-copy sends: closed when consumed
+	once sync.Once     // guards the close (Recv and Close may race)
+}
+
+// release unblocks a zero-copy sender exactly once.
+func (e *outEntry) release() {
+	if e.done != nil {
+		e.once.Do(func() { close(e.done) })
+	}
+}
+
+// NewChannel creates a channel with `entries` control-queue slots,
+// messages up to inlineMax bytes sent inline, and a buffer pool bounded to
+// poolMax bytes (0 = unbounded).
+func NewChannel(entries, inlineMax int, poolMax int64) (*Channel, error) {
+	if inlineMax < 64 {
+		inlineMax = 64
+	}
+	q, err := NewQueue(entries, ctlHeader+inlineMax)
+	if err != nil {
+		return nil, err
+	}
+	return &Channel{
+		q:           q,
+		pool:        NewBufferPool(poolMax),
+		inlineMax:   inlineMax,
+		outstanding: make(map[uint64]*outEntry),
+	}, nil
+}
+
+// Pool exposes the channel's buffer pool (for stats and tests).
+func (c *Channel) Pool() *BufferPool { return c.pool }
+
+// Send delivers msg to the consumer asynchronously. Small messages are
+// copied inline into the queue slot; large ones are copied into a pool
+// buffer, with only a control message in the queue ("two memory copies
+// ... for sending large messages asynchronously"). It returns false if
+// the channel is closed.
+func (c *Channel) Send(msg []byte) bool {
+	c.countSend(len(msg))
+	if len(msg) <= c.inlineMax {
+		frame := make([]byte, ctlHeader+len(msg))
+		frame[0] = msgInline
+		binary.LittleEndian.PutUint64(frame[1:], uint64(len(msg)))
+		copy(frame[ctlHeader:], msg)
+		ok := c.q.Enqueue(frame)
+		if ok {
+			c.bump(func(s *ChannelStats) { s.InlineSends++ })
+		}
+		return ok
+	}
+	buf, err := c.pool.Get(len(msg))
+	if err != nil {
+		return false
+	}
+	copy(buf, msg) // first copy
+	id := c.register(&outEntry{buf: buf})
+	var frame [ctlHeader]byte
+	frame[0] = msgPooled
+	binary.LittleEndian.PutUint64(frame[1:], id)
+	if !c.q.Enqueue(frame[:]) {
+		c.unregister(id)
+		c.pool.Put(buf)
+		return false
+	}
+	c.bump(func(s *ChannelStats) { s.PooledSends++ })
+	return true
+}
+
+// SendZeroCopy delivers msg synchronously via the XPMEM-style path: the
+// consumer copies directly out of msg, and SendZeroCopy returns only after
+// that copy completes (the equivalent of xpmem_make/xpmem_get round trip).
+// The caller must not mutate msg until SendZeroCopy returns. It reports
+// false if the channel closed first.
+func (c *Channel) SendZeroCopy(msg []byte) bool {
+	c.countSend(len(msg))
+	e := &outEntry{buf: msg, done: make(chan struct{})}
+	id := c.register(e)
+	var frame [ctlHeader]byte
+	frame[0] = msgXpmem
+	binary.LittleEndian.PutUint64(frame[1:], id)
+	if !c.q.Enqueue(frame[:]) {
+		c.unregister(id)
+		return false
+	}
+	<-e.done
+	c.bump(func(s *ChannelStats) { s.ZeroCopySends++ })
+	return true
+}
+
+// Recv returns the next message, reusing dst's storage when large enough.
+// ok=false means the channel is closed and drained.
+func (c *Channel) Recv(dst []byte) (msg []byte, ok bool) {
+	frame := make([]byte, c.q.PayloadSize())
+	n, ok := c.q.Dequeue(frame)
+	if !ok {
+		return nil, false
+	}
+	kind := frame[0]
+	switch kind {
+	case msgInline:
+		ln := int(binary.LittleEndian.Uint64(frame[1:]))
+		if ln > n-ctlHeader {
+			ln = n - ctlHeader
+		}
+		dst = grow(dst, ln)
+		copy(dst, frame[ctlHeader:ctlHeader+ln])
+		return dst, true
+	case msgPooled:
+		id := binary.LittleEndian.Uint64(frame[1:])
+		e := c.take(id)
+		if e == nil {
+			return nil, false
+		}
+		dst = grow(dst, len(e.buf))
+		copy(dst, e.buf) // second copy
+		c.pool.Put(e.buf)
+		return dst, true
+	case msgXpmem:
+		id := binary.LittleEndian.Uint64(frame[1:])
+		e := c.take(id)
+		if e == nil {
+			return nil, false
+		}
+		dst = grow(dst, len(e.buf))
+		copy(dst, e.buf) // the only copy
+		e.release()
+		return dst, true
+	}
+	return nil, false
+}
+
+// Close shuts down the channel. Blocked senders and receivers return
+// false once the queue drains; messages already enqueued (inline or
+// pooled) remain receivable. Outstanding zero-copy senders are released
+// so they cannot deadlock; their entries stay takeable for a receiver
+// that drains the queue afterwards.
+func (c *Channel) Close() {
+	c.q.Close()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.outstanding {
+		e.release()
+	}
+}
+
+// Stats returns a snapshot of channel counters.
+func (c *Channel) Stats() ChannelStats {
+	c.stats.Lock()
+	defer c.stats.Unlock()
+	return c.stats.ChannelStats
+}
+
+func (c *Channel) countSend(n int) {
+	c.bump(func(s *ChannelStats) {
+		s.MessagesSent++
+		s.BytesSent += int64(n)
+	})
+}
+
+func (c *Channel) bump(f func(*ChannelStats)) {
+	c.stats.Lock()
+	f(&c.stats.ChannelStats)
+	c.stats.Unlock()
+}
+
+func (c *Channel) register(e *outEntry) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.nextID
+	c.nextID++
+	c.outstanding[id] = e
+	return id
+}
+
+func (c *Channel) unregister(id uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.outstanding, id)
+}
+
+func (c *Channel) take(id uint64) *outEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.outstanding[id]
+	delete(c.outstanding, id)
+	return e
+}
+
+func grow(dst []byte, n int) []byte {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make([]byte, n)
+}

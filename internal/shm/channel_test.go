@@ -1,0 +1,257 @@
+package shm
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestChannelInlineRoundTrip(t *testing.T) {
+	c, err := NewChannel(8, 128, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	msg := []byte("small message")
+	go c.Send(msg)
+	got, ok := c.Recv(nil)
+	if !ok || !bytes.Equal(got, msg) {
+		t.Fatalf("Recv = %q, %v", got, ok)
+	}
+	st := c.Stats()
+	if st.InlineSends != 1 || st.PooledSends != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestChannelPooledRoundTrip(t *testing.T) {
+	c, _ := NewChannel(8, 64, 0)
+	defer c.Close()
+	msg := bytes.Repeat([]byte("x"), 10000)
+	go c.Send(msg)
+	got, ok := c.Recv(nil)
+	if !ok || !bytes.Equal(got, msg) {
+		t.Fatalf("pooled Recv failed: ok=%v len=%d", ok, len(got))
+	}
+	if c.Stats().PooledSends != 1 {
+		t.Fatalf("stats = %+v", c.Stats())
+	}
+	// The pool buffer must have been returned.
+	if ps := c.Pool().Stats(); ps.Returns != 1 {
+		t.Fatalf("pool stats = %+v, want 1 return", ps)
+	}
+}
+
+func TestChannelZeroCopyRoundTrip(t *testing.T) {
+	c, _ := NewChannel(8, 64, 0)
+	defer c.Close()
+	msg := bytes.Repeat([]byte("z"), 5000)
+	done := make(chan bool)
+	go func() { done <- c.SendZeroCopy(msg) }()
+	got, ok := c.Recv(nil)
+	if !ok || !bytes.Equal(got, msg) {
+		t.Fatal("zero-copy Recv failed")
+	}
+	if !<-done {
+		t.Fatal("SendZeroCopy should report true")
+	}
+	st := c.Stats()
+	if st.ZeroCopySends != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Zero-copy must not touch the pool.
+	if ps := c.Pool().Stats(); ps.Allocs != 0 {
+		t.Fatalf("zero-copy should not allocate pool buffers: %+v", ps)
+	}
+}
+
+func TestChannelZeroCopyBlocksUntilConsumed(t *testing.T) {
+	c, _ := NewChannel(8, 64, 0)
+	defer c.Close()
+	msg := make([]byte, 1000)
+	started := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		close(started)
+		c.SendZeroCopy(msg)
+		close(finished)
+	}()
+	<-started
+	select {
+	case <-finished:
+		t.Fatal("SendZeroCopy returned before consumer copied")
+	default:
+	}
+	c.Recv(nil)
+	<-finished // must complete now
+}
+
+func TestChannelRecvReusesDst(t *testing.T) {
+	c, _ := NewChannel(8, 128, 0)
+	defer c.Close()
+	go c.Send([]byte("abc"))
+	scratch := make([]byte, 0, 64)
+	got, ok := c.Recv(scratch)
+	if !ok {
+		t.Fatal("recv failed")
+	}
+	if &got[0] != &scratch[:1][0] {
+		t.Fatal("Recv should reuse dst storage when large enough")
+	}
+}
+
+func TestChannelCloseUnblocksAll(t *testing.T) {
+	c, _ := NewChannel(2, 64, 0)
+	recvDone := make(chan bool)
+	go func() {
+		_, ok := c.Recv(nil)
+		recvDone <- ok
+	}()
+	zcDone := make(chan bool)
+	// Fill the queue so the zero-copy control message blocks, then close.
+	c.Send([]byte("a"))
+	c.Send([]byte("b"))
+	go func() { zcDone <- c.SendZeroCopy(make([]byte, 1000)) }()
+	c.Close()
+	// Receiver may get a pending message or a closed signal; either way
+	// it must return.
+	<-recvDone
+	<-zcDone
+}
+
+func TestChannelMixedTrafficOrdered(t *testing.T) {
+	c, _ := NewChannel(16, 64, 1<<20)
+	defer c.Close()
+	const rounds = 2000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			var msg []byte
+			if i%3 == 0 {
+				msg = bytes.Repeat([]byte{byte(i)}, 2000) // pooled
+			} else {
+				msg = bytes.Repeat([]byte{byte(i)}, 1+i%60) // inline
+			}
+			if !c.Send(msg) {
+				t.Errorf("send %d failed", i)
+				return
+			}
+		}
+	}()
+	var buf []byte
+	for i := 0; i < rounds; i++ {
+		var ok bool
+		buf, ok = c.Recv(buf)
+		if !ok {
+			t.Fatalf("recv %d failed", i)
+		}
+		wantLen := 1 + i%60
+		if i%3 == 0 {
+			wantLen = 2000
+		}
+		if len(buf) != wantLen {
+			t.Fatalf("msg %d: len %d, want %d (ordering broken)", i, len(buf), wantLen)
+		}
+		for _, b := range buf {
+			if b != byte(i) {
+				t.Fatalf("msg %d corrupted", i)
+			}
+		}
+	}
+	wg.Wait()
+	ps := c.Pool().Stats()
+	if ps.Reuses == 0 {
+		t.Error("pool should reuse buffers across pooled sends")
+	}
+}
+
+func TestChannelStatsBytes(t *testing.T) {
+	c, _ := NewChannel(8, 64, 0)
+	defer c.Close()
+	go func() {
+		c.Send(make([]byte, 10))
+		c.Send(make([]byte, 1000))
+	}()
+	c.Recv(nil)
+	c.Recv(nil)
+	st := c.Stats()
+	if st.MessagesSent != 2 || st.BytesSent != 1010 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func BenchmarkSPSCQueueInline(b *testing.B) {
+	for _, size := range []int{8, 64, 512} {
+		b.Run(fmt.Sprintf("msg%dB", size), func(b *testing.B) {
+			q, _ := NewQueue(1024, 512)
+			msg := make([]byte, size)
+			buf := make([]byte, 512)
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			done := make(chan struct{})
+			go func() {
+				for i := 0; i < b.N; i++ {
+					q.Enqueue(msg)
+				}
+				close(done)
+			}()
+			for i := 0; i < b.N; i++ {
+				q.Dequeue(buf)
+			}
+			<-done
+		})
+	}
+}
+
+func BenchmarkChannelPooledVsZeroCopy(b *testing.B) {
+	const size = 1 << 20
+	msg := make([]byte, size)
+	b.Run("pooled-2copy", func(b *testing.B) {
+		c, _ := NewChannel(64, 256, 64<<20)
+		defer c.Close()
+		b.SetBytes(size)
+		done := make(chan struct{})
+		b.ResetTimer()
+		go func() {
+			for i := 0; i < b.N; i++ {
+				c.Send(msg)
+			}
+			close(done)
+		}()
+		var buf []byte
+		for i := 0; i < b.N; i++ {
+			buf, _ = c.Recv(buf)
+		}
+		<-done
+	})
+	b.Run("xpmem-1copy", func(b *testing.B) {
+		c, _ := NewChannel(64, 256, 0)
+		defer c.Close()
+		b.SetBytes(size)
+		done := make(chan struct{})
+		b.ResetTimer()
+		go func() {
+			for i := 0; i < b.N; i++ {
+				c.SendZeroCopy(msg)
+			}
+			close(done)
+		}()
+		var buf []byte
+		for i := 0; i < b.N; i++ {
+			buf, _ = c.Recv(buf)
+		}
+		<-done
+	})
+}
+
+func BenchmarkBufferPoolGetPut(b *testing.B) {
+	p := NewBufferPool(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf, _ := p.Get(110 << 10)
+		p.Put(buf)
+	}
+}

@@ -1,0 +1,213 @@
+package shm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestQueueBasics(t *testing.T) {
+	q, err := NewQueue(4, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Capacity() != 4 || q.PayloadSize() != 32 {
+		t.Fatalf("capacity/payload = %d/%d", q.Capacity(), q.PayloadSize())
+	}
+	if !q.TryEnqueue([]byte("hello")) {
+		t.Fatal("enqueue into empty queue failed")
+	}
+	buf := make([]byte, 32)
+	n, ok := q.TryDequeue(buf)
+	if !ok || string(buf[:n]) != "hello" {
+		t.Fatalf("dequeue = %q, %v", buf[:n], ok)
+	}
+	if _, ok := q.TryDequeue(buf); ok {
+		t.Fatal("dequeue from empty queue should fail")
+	}
+}
+
+func TestQueueRoundsUpCapacity(t *testing.T) {
+	q, _ := NewQueue(5, 8)
+	if q.Capacity() != 8 {
+		t.Fatalf("capacity = %d, want 8 (next pow2)", q.Capacity())
+	}
+	q, _ = NewQueue(0, 8)
+	if q.Capacity() != 2 {
+		t.Fatalf("capacity = %d, want 2 (minimum)", q.Capacity())
+	}
+}
+
+func TestQueueInvalidPayload(t *testing.T) {
+	if _, err := NewQueue(4, 0); err == nil {
+		t.Fatal("zero payload size must error")
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	q, _ := NewQueue(4, 8)
+	for i := 0; i < 4; i++ {
+		if !q.TryEnqueue([]byte{byte(i)}) {
+			t.Fatalf("enqueue %d failed", i)
+		}
+	}
+	if q.TryEnqueue([]byte{9}) {
+		t.Fatal("enqueue into full queue must fail")
+	}
+	if q.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", q.Len())
+	}
+	buf := make([]byte, 8)
+	n, ok := q.TryDequeue(buf)
+	if !ok || n != 1 || buf[0] != 0 {
+		t.Fatal("FIFO violated")
+	}
+	if !q.TryEnqueue([]byte{9}) {
+		t.Fatal("enqueue after drain must succeed (circularity)")
+	}
+}
+
+func TestQueueOversizedMessageRejected(t *testing.T) {
+	q, _ := NewQueue(4, 8)
+	if q.TryEnqueue(make([]byte, 9)) {
+		t.Fatal("oversized message must be rejected")
+	}
+}
+
+func TestQueueWraparound(t *testing.T) {
+	q, _ := NewQueue(4, 16)
+	buf := make([]byte, 16)
+	for i := 0; i < 100; i++ {
+		msg := []byte(fmt.Sprintf("m%02d", i))
+		if !q.TryEnqueue(msg) {
+			t.Fatalf("enqueue %d failed", i)
+		}
+		n, ok := q.TryDequeue(buf)
+		if !ok || !bytes.Equal(buf[:n], msg) {
+			t.Fatalf("iter %d: got %q want %q", i, buf[:n], msg)
+		}
+	}
+}
+
+func TestQueueCloseUnblocksConsumer(t *testing.T) {
+	q, _ := NewQueue(4, 8)
+	done := make(chan bool)
+	go func() {
+		buf := make([]byte, 8)
+		_, ok := q.Dequeue(buf)
+		done <- ok
+	}()
+	q.Close()
+	if ok := <-done; ok {
+		t.Fatal("Dequeue on closed empty queue should report !ok")
+	}
+}
+
+func TestQueueCloseDrainsPending(t *testing.T) {
+	q, _ := NewQueue(4, 8)
+	q.TryEnqueue([]byte("x"))
+	q.Close()
+	buf := make([]byte, 8)
+	if n, ok := q.Dequeue(buf); !ok || n != 1 {
+		t.Fatal("pending entry must remain dequeueable after Close")
+	}
+	if _, ok := q.Dequeue(buf); ok {
+		t.Fatal("drained closed queue must report !ok")
+	}
+}
+
+func TestQueueCloseUnblocksProducer(t *testing.T) {
+	q, _ := NewQueue(2, 8)
+	q.TryEnqueue([]byte("a"))
+	q.TryEnqueue([]byte("b"))
+	done := make(chan bool)
+	go func() { done <- q.Enqueue([]byte("c")) }()
+	q.Close()
+	if ok := <-done; ok {
+		t.Fatal("Enqueue on closed full queue should report false")
+	}
+}
+
+// TestQueueSPSCStress moves a long sequence across goroutines and checks
+// ordering and integrity — the core lock-free correctness test.
+func TestQueueSPSCStress(t *testing.T) {
+	const total = 200000
+	q, _ := NewQueue(64, 16)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	errCh := make(chan error, 1)
+	go func() { // producer
+		defer wg.Done()
+		msg := make([]byte, 8)
+		for i := 0; i < total; i++ {
+			binary.LittleEndian.PutUint64(msg, uint64(i))
+			if !q.Enqueue(msg) {
+				select {
+				case errCh <- fmt.Errorf("enqueue %d failed", i):
+				default:
+				}
+				return
+			}
+		}
+	}()
+	go func() { // consumer
+		defer wg.Done()
+		buf := make([]byte, 16)
+		for i := 0; i < total; i++ {
+			n, ok := q.Dequeue(buf)
+			if !ok || n != 8 {
+				select {
+				case errCh <- fmt.Errorf("dequeue %d: n=%d ok=%v", i, n, ok):
+				default:
+				}
+				return
+			}
+			if got := binary.LittleEndian.Uint64(buf); got != uint64(i) {
+				select {
+				case errCh <- fmt.Errorf("order violated at %d: got %d", i, got):
+				default:
+				}
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+}
+
+func TestQueueVariableSizeMessages(t *testing.T) {
+	q, _ := NewQueue(8, 64)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	const rounds = 5000
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			msg := bytes.Repeat([]byte{byte(i)}, 1+i%64)
+			q.Enqueue(msg)
+		}
+	}()
+	buf := make([]byte, 64)
+	for i := 0; i < rounds; i++ {
+		n, ok := q.Dequeue(buf)
+		if !ok {
+			t.Fatalf("dequeue %d failed", i)
+		}
+		want := 1 + i%64
+		if n != want {
+			t.Fatalf("msg %d: len %d, want %d", i, n, want)
+		}
+		for _, b := range buf[:n] {
+			if b != byte(i) {
+				t.Fatalf("msg %d corrupted", i)
+			}
+		}
+	}
+	wg.Wait()
+}

@@ -1,0 +1,250 @@
+package simnet
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(3.0, func() { order = append(order, 3) })
+	e.Schedule(1.0, func() { order = append(order, 1) })
+	e.Schedule(2.0, func() { order = append(order, 2) })
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.IntsAreSorted(order) || len(order) != 3 {
+		t.Fatalf("events ran out of order: %v", order)
+	}
+	if e.Now() != 3.0 {
+		t.Fatalf("Now = %g, want 3.0", e.Now())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(1.0, func() { order = append(order, i) })
+	}
+	e.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events must run FIFO, got %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var times []float64
+	e.Schedule(1.0, func() {
+		times = append(times, e.Now())
+		e.Schedule(0.5, func() { times = append(times, e.Now()) })
+	})
+	e.Run(0)
+	if len(times) != 2 || times[0] != 1.0 || times[1] != 1.5 {
+		t.Fatalf("nested schedule times = %v", times)
+	}
+}
+
+func TestEngineNegativeDelayClamped(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Schedule(-5, func() { ran = true })
+	e.Run(0)
+	if !ran || e.Now() != 0 {
+		t.Fatalf("negative delay should run at t=0, ran=%v now=%g", ran, e.Now())
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	tm := e.Schedule(1, func() { ran = true })
+	tm.Cancel()
+	e.Run(0)
+	if ran {
+		t.Fatal("cancelled event must not run")
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var ran []float64
+	e.Schedule(1, func() { ran = append(ran, e.Now()) })
+	e.Schedule(5, func() { ran = append(ran, e.Now()) })
+	e.RunUntil(2)
+	if len(ran) != 1 || e.Now() != 2 {
+		t.Fatalf("RunUntil: ran=%v now=%g", ran, e.Now())
+	}
+	e.RunUntil(10)
+	if len(ran) != 2 {
+		t.Fatalf("second RunUntil should fire remaining event, ran=%v", ran)
+	}
+}
+
+func TestEngineRunawayGuard(t *testing.T) {
+	e := NewEngine()
+	var loop func()
+	loop = func() { e.Schedule(1, loop) }
+	e.Schedule(0, loop)
+	if err := e.Run(100); err == nil {
+		t.Fatal("expected runaway guard to trip")
+	}
+}
+
+func TestFluidSingleFlow(t *testing.T) {
+	e := NewEngine()
+	n := NewFluidNet(e)
+	r := NewResource("link", 100) // 100 B/s
+	var finish float64 = -1
+	n.StartFlow(1000, 0.5, 0, []*Resource{r}, func(t float64) { finish = t })
+	e.Run(0)
+	want := 0.5 + 1000.0/100.0
+	if math.Abs(finish-want) > 1e-9 {
+		t.Fatalf("finish = %g, want %g", finish, want)
+	}
+}
+
+func TestFluidRateLimit(t *testing.T) {
+	e := NewEngine()
+	n := NewFluidNet(e)
+	r := NewResource("link", 1000)
+	var finish float64
+	n.StartFlow(100, 0, 10, []*Resource{r}, func(t float64) { finish = t })
+	e.Run(0)
+	if math.Abs(finish-10.0) > 1e-9 {
+		t.Fatalf("rate-limited finish = %g, want 10", finish)
+	}
+}
+
+func TestFluidFairSharing(t *testing.T) {
+	// Two equal flows sharing one resource: each gets half the capacity,
+	// so both finish at 2x the solo time.
+	e := NewEngine()
+	n := NewFluidNet(e)
+	r := NewResource("link", 100)
+	var f1, f2 float64
+	n.StartFlow(500, 0, 0, []*Resource{r}, func(t float64) { f1 = t })
+	n.StartFlow(500, 0, 0, []*Resource{r}, func(t float64) { f2 = t })
+	e.Run(0)
+	if math.Abs(f1-10.0) > 1e-6 || math.Abs(f2-10.0) > 1e-6 {
+		t.Fatalf("fair share finishes = %g, %g; want 10, 10", f1, f2)
+	}
+}
+
+func TestFluidShortFlowDeparts(t *testing.T) {
+	// A short flow shares the link, finishes, and the long flow speeds up:
+	// long = 1000B: 250B in first 5s (shared), remaining 750B at full
+	// 100 B/s => finish at 12.5s. Short = 250B at 50 B/s => 5s.
+	e := NewEngine()
+	n := NewFluidNet(e)
+	r := NewResource("link", 100)
+	var long, short float64
+	n.StartFlow(1000, 0, 0, []*Resource{r}, func(t float64) { long = t })
+	n.StartFlow(250, 0, 0, []*Resource{r}, func(t float64) { short = t })
+	e.Run(0)
+	if math.Abs(short-5.0) > 1e-6 {
+		t.Fatalf("short finish = %g, want 5", short)
+	}
+	if math.Abs(long-12.5) > 1e-6 {
+		t.Fatalf("long finish = %g, want 12.5", long)
+	}
+}
+
+func TestFluidLateArrival(t *testing.T) {
+	// Flow B arrives at t=5 while A (1000B @ 100B/s solo) is half done.
+	// From t=5 they share: A has 500B left at 50B/s => t=15.
+	// B (250B) at 50 B/s => t=10... then A speeds up: at t=10 A has
+	// 500-250=250B left, now at 100B/s => t=12.5.
+	e := NewEngine()
+	n := NewFluidNet(e)
+	r := NewResource("link", 100)
+	var fa, fb float64
+	n.StartFlow(1000, 0, 0, []*Resource{r}, func(t float64) { fa = t })
+	e.Schedule(5, func() {
+		n.StartFlow(250, 0, 0, []*Resource{r}, func(t float64) { fb = t })
+	})
+	e.Run(0)
+	if math.Abs(fb-10.0) > 1e-6 {
+		t.Fatalf("B finish = %g, want 10", fb)
+	}
+	if math.Abs(fa-12.5) > 1e-6 {
+		t.Fatalf("A finish = %g, want 12.5", fa)
+	}
+}
+
+func TestFluidMultiResourceBottleneck(t *testing.T) {
+	// Flow crosses two resources; the slower one (50 B/s) governs.
+	e := NewEngine()
+	n := NewFluidNet(e)
+	r1 := NewResource("fast", 1000)
+	r2 := NewResource("slow", 50)
+	var f float64
+	n.StartFlow(100, 0, 0, []*Resource{r1, r2}, func(t float64) { f = t })
+	e.Run(0)
+	if math.Abs(f-2.0) > 1e-9 {
+		t.Fatalf("finish = %g, want 2", f)
+	}
+}
+
+func TestFluidMaxMinAsymmetric(t *testing.T) {
+	// Flow A crosses shared(100); flow B crosses shared(100) AND
+	// private(30). Max-min: B is capped at 30 by private; A then gets 70.
+	e := NewEngine()
+	n := NewFluidNet(e)
+	shared := NewResource("shared", 100)
+	private := NewResource("private", 30)
+	var fa, fb float64
+	n.StartFlow(700, 0, 0, []*Resource{shared}, func(t float64) { fa = t })
+	n.StartFlow(300, 0, 0, []*Resource{shared, private}, func(t float64) { fb = t })
+	e.Run(0)
+	if math.Abs(fb-10.0) > 1e-6 {
+		t.Fatalf("B finish = %g, want 10 (rate 30)", fb)
+	}
+	if math.Abs(fa-10.0) > 1e-6 {
+		t.Fatalf("A finish = %g, want 10 (rate 70)", fa)
+	}
+}
+
+func TestFluidZeroByteFlow(t *testing.T) {
+	e := NewEngine()
+	n := NewFluidNet(e)
+	var f float64 = -1
+	n.StartFlow(0, 0.25, 0, nil, func(t float64) { f = t })
+	e.Run(0)
+	if math.Abs(f-0.25) > 1e-12 {
+		t.Fatalf("zero-byte flow finish = %g, want 0.25 (latency only)", f)
+	}
+}
+
+func TestFluidConservation(t *testing.T) {
+	// N flows through one resource: total time = total bytes / capacity
+	// regardless of arrival pattern (work conservation).
+	e := NewEngine()
+	n := NewFluidNet(e)
+	r := NewResource("link", 100)
+	var last float64
+	total := 0.0
+	for i := 0; i < 8; i++ {
+		b := float64(100 * (i + 1))
+		total += b
+		delay := float64(i) * 0.1
+		e.Schedule(delay, func() {
+			n.StartFlow(b, 0, 0, []*Resource{r}, func(t float64) {
+				if t > last {
+					last = t
+				}
+			})
+		})
+	}
+	e.Run(0)
+	want := total / 100.0 // all arrivals well before completion
+	if math.Abs(last-want) > 0.2 {
+		t.Fatalf("last finish = %g, want ~%g (work conservation)", last, want)
+	}
+}

@@ -1,0 +1,122 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+
+	"flexio/internal/machine"
+)
+
+func TestMachineNetInterNode(t *testing.T) {
+	m := machine.Titan(4)
+	e := NewEngine()
+	n := NewMachineNet(e, m)
+	var f float64
+	bytes := 100.0e6
+	n.TransferInterNode(0, 1, bytes, func(t float64) { f = t })
+	e.Run(0)
+	want := m.Net.Latency + bytes/m.Net.LinkBandwidth
+	if math.Abs(f-want)/want > 1e-6 {
+		t.Fatalf("finish = %g, want %g", f, want)
+	}
+}
+
+func TestMachineNetInjectionContention(t *testing.T) {
+	// Two flows out of node 0 to different destinations contend on node
+	// 0's injection bandwidth.
+	m := machine.Titan(4)
+	e := NewEngine()
+	n := NewMachineNet(e, m)
+	bytes := 100.0e6
+	var f1, f2 float64
+	n.TransferInterNode(0, 1, bytes, func(t float64) { f1 = t })
+	n.TransferInterNode(0, 2, bytes, func(t float64) { f2 = t })
+	e.Run(0)
+	share := m.Net.InjectionBandwidth / 2
+	if share > m.Net.LinkBandwidth {
+		share = m.Net.LinkBandwidth
+	}
+	want := m.Net.Latency + bytes/share
+	if math.Abs(f1-want)/want > 1e-6 || math.Abs(f2-want)/want > 1e-6 {
+		t.Fatalf("finishes = %g, %g; want %g", f1, f2, want)
+	}
+}
+
+func TestMachineNetIntraNodeNUMA(t *testing.T) {
+	m := machine.Smoky(2)
+	e := NewEngine()
+	n := NewMachineNet(e, m)
+	bytes := 10.0e6
+	var same, cross float64
+	n.TransferIntraNode(0, true, bytes, func(t float64) { same = t })
+	e.Run(0)
+	e2 := NewEngine()
+	n2 := NewMachineNet(e2, m)
+	n2.TransferIntraNode(0, false, bytes, func(t float64) { cross = t })
+	e2.Run(0)
+	if same >= cross {
+		t.Fatalf("same-NUMA transfer (%g) must beat cross-NUMA (%g)", same, cross)
+	}
+}
+
+func TestMachineNetFS(t *testing.T) {
+	m := machine.Smoky(4)
+	e := NewEngine()
+	n := NewMachineNet(e, m)
+	bytes := 30.0e6
+	var f float64
+	n.TransferToFS(0, bytes, func(t float64) { f = t })
+	e.Run(0)
+	want := m.Net.Latency + m.FS.OpenCost + bytes/m.FS.PerClientBandwidth
+	if math.Abs(f-want)/want > 1e-6 {
+		t.Fatalf("FS write = %g, want %g", f, want)
+	}
+	// Read path exists too.
+	var r float64
+	n.TransferFromFS(1, bytes, func(t float64) { r = t })
+	e.Run(0)
+	if r <= f {
+		t.Fatalf("FS read should complete after being started later (t=%g)", r)
+	}
+}
+
+func TestMachineNetFSAggregateCeiling(t *testing.T) {
+	// Many concurrent writers saturate the FS aggregate bandwidth: total
+	// time approaches totalBytes/aggBW even though each client could go
+	// faster alone.
+	m := machine.Smoky(80)
+	e := NewEngine()
+	n := NewMachineNet(e, m)
+	writers := 64
+	per := 2.0e9
+	var last float64
+	for w := 0; w < writers; w++ {
+		n.TransferToFS(w%m.NumNodes, per, func(t float64) {
+			if t > last {
+				last = t
+			}
+		})
+	}
+	e.Run(0)
+	ideal := per / m.FS.PerClientBandwidth // no contention
+	agg := float64(writers) * per / m.FS.AggregateBandwidth
+	if last < agg*0.9 {
+		t.Fatalf("FS contention missing: last=%g, aggregate bound=%g", last, agg)
+	}
+	if last < ideal {
+		t.Fatalf("contended time %g cannot beat solo time %g", last, ideal)
+	}
+}
+
+func TestSmallMessageCostOrdering(t *testing.T) {
+	m := machine.Smoky(2)
+	e := NewEngine()
+	n := NewMachineNet(e, m)
+	selfC := n.SmallMessageCost(0, 0)
+	numa := n.SmallMessageCost(0, 1)
+	node := n.SmallMessageCost(0, 5)
+	net := n.SmallMessageCost(0, 17)
+	if !(selfC == 0 && numa > 0 && node > numa && net > node) {
+		t.Fatalf("ordering violated: %g %g %g %g", selfC, numa, node, net)
+	}
+}
