@@ -1,0 +1,44 @@
+GO ?= go
+
+.PHONY: check fmt vet build test race bench
+
+## check: everything a PR must pass — formatting, vet, build, race tests.
+check: fmt vet build race
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## race: race-detector run over the packages on the M×N data path.
+race:
+	$(GO) test -race -count=1 ./internal/core/ ./internal/ndarray/ ./internal/shm/
+
+## bench: redistribution benchmarks with allocation counts, archived as
+## newline-delimited JSON in BENCH_redist.json.
+bench:
+	$(GO) test -run XXX -bench 'PackUnpack|Redistribution|RedistPlanSteadyState' \
+		-benchmem -benchtime=1s . | tee /tmp/bench_redist.txt
+	awk 'BEGIN { print "[" ; first=1 } \
+	     /^Benchmark/ { \
+	       gsub(/"/, "\\\"", $$1); \
+	       line = sprintf("  {\"name\": \"%s\", \"iterations\": %s", $$1, $$2); \
+	       for (i = 3; i + 1 <= NF; i += 2) { \
+	         v = $$i; u = $$(i+1); gsub(/\//, "_per_", u); gsub(/[^A-Za-z0-9_]/, "_", u); \
+	         line = line sprintf(", \"%s\": %s", u, v); \
+	       } \
+	       line = line "}"; \
+	       if (!first) printf(",\n"); printf("%s", line); first=0 \
+	     } \
+	     END { print "\n]" }' /tmp/bench_redist.txt > BENCH_redist.json
+	@echo "wrote BENCH_redist.json"

@@ -297,11 +297,25 @@ func TestParseBPCorrupt(t *testing.T) {
 func TestFilePluginRejected(t *testing.T) {
 	ctx := newTestContext(t, `<adios-config><io name="o"><engine type="file"/></io></adios-config>`)
 	io, _ := ctx.DeclareIO("o")
+	// The writer goroutine must not outlive the test: if it did, its
+	// OpenWriter would race the framework's TempDir cleanup (and a failed
+	// open would nil-deref in BeginStep). Synchronize on completion and
+	// surface any error through the channel.
+	writerDone := make(chan error, 1)
 	go func() {
-		wr, _ := io.OpenWriter("pr", 0, 1)
+		wr, err := io.OpenWriter("pr", 0, 1)
+		if err != nil {
+			writerDone <- err
+			return
+		}
 		wr.BeginStep(0)
 		wr.EndStep()
-		wr.Close()
+		writerDone <- wr.Close()
+	}()
+	defer func() {
+		if err := <-writerDone; err != nil {
+			t.Errorf("writer goroutine: %v", err)
+		}
 	}()
 	rd, err := io.OpenReader("pr", 0, 1)
 	if err != nil {

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelFor runs fn(i) for every i in [0, n) on up to `workers`
+// goroutines (0 means GOMAXPROCS) and returns the first error observed.
+// Work is handed out via an atomic counter, so uneven item costs (a hot
+// writer rank packing far more pieces than its peers) balance across the
+// pool. Once an error occurs, workers stop picking up new items; already
+// running items complete.
+//
+// This is the plan-execution executor of the redistribution fast path:
+// writer ranks pack and send concurrently (each rank owns its own row of
+// data connections) and a reader rank unpacks disjoint pieces
+// concurrently.
+func parallelFor(n, workers int, fn func(int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     int64 = -1
+		failed   atomic.Bool
+		errMu    sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

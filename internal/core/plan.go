@@ -1,0 +1,153 @@
+package core
+
+import (
+	"flexio/internal/ndarray"
+)
+
+// Redistribution plan cache (writer side) and unpack plan cache (reader
+// side). The M×N decompositions of a coupled run are fixed for its
+// lifetime in the common case, yet the seed runtime recomputed every box
+// intersection and allocated a fresh packed payload per piece per
+// timestep. The caches below compute the geometry once per (variable,
+// writer box, reader selections) and replay precompiled
+// ndarray.Plans every step; they are invalidated by a new reader
+// selection message (generation counter) or by a writer's box changing
+// between steps (particle counts shifting, as the paper's GTS workload
+// does).
+
+// varPlanKey identifies a writer rank's cached redistribution plan for
+// one variable.
+type varPlanKey struct {
+	name   string
+	writer int
+}
+
+// packTarget is one precompiled writer→reader transfer: the overlap
+// region, the pack plan gathering it from the writer's box, and the
+// pre-encoded box metadata that rides along with every data event.
+type packTarget struct {
+	reader  int
+	region  ndarray.Box
+	plan    *ndarray.Plan
+	boxMeta []int64
+}
+
+// varPlanEntry caches the full fan-out of one (variable, writer rank)
+// pair. It is immutable once published; piecesFor goroutines share it.
+type varPlanEntry struct {
+	gen      uint64 // reader-selection generation it was computed against
+	box      ndarray.Box
+	elemSize int
+	targets  []packTarget
+}
+
+// valid reports whether the entry still matches the current selections
+// and the writer's current box.
+func (e *varPlanEntry) valid(gen uint64, box ndarray.Box, elemSize int) bool {
+	return e.gen == gen && e.elemSize == elemSize && e.box.Equal(box)
+}
+
+// packPlansFor returns (building and caching if needed) the pack plans
+// writer w uses for variable v under the given selections. The caller
+// must already have verified len(selBoxes) == sel.nReaders.
+func (g *WriterGroup) packPlansFor(w int, v varData, sel readerSelections, selBoxes []ndarray.Box) (*varPlanEntry, error) {
+	key := varPlanKey{name: v.meta.Name, writer: w}
+	g.planMu.Lock()
+	if e, ok := g.plans[key]; ok && e.valid(sel.gen, v.meta.Box, v.meta.ElemSize) {
+		g.planMu.Unlock()
+		if g.mon != nil {
+			g.mon.Incr("plan.cache.hit", 1)
+		}
+		return e, nil
+	}
+	g.planMu.Unlock()
+
+	// Build outside the lock: plan construction is the expensive step the
+	// cache amortizes, and distinct (var, writer) keys may build
+	// concurrently under the parallel executor.
+	nd := len(v.meta.GlobalShape)
+	e := &varPlanEntry{gen: sel.gen, box: v.meta.Box, elemSize: v.meta.ElemSize}
+	for r := 0; r < len(selBoxes); r++ {
+		rb := selBoxes[r]
+		if rb.Empty() {
+			continue
+		}
+		ov, has := v.meta.Box.Intersect(rb)
+		if !has {
+			continue
+		}
+		plan, err := ndarray.NewPackPlan(v.meta.Box, ov, v.meta.ElemSize)
+		if err != nil {
+			return nil, err
+		}
+		e.targets = append(e.targets, packTarget{
+			reader:  r,
+			region:  ov,
+			plan:    plan,
+			boxMeta: encodeBoxes([]ndarray.Box{ov}, nd),
+		})
+	}
+	g.planMu.Lock()
+	g.plans[key] = e
+	g.planMu.Unlock()
+	if g.mon != nil {
+		g.mon.Incr("plan.cache.build", 1)
+	}
+	return e, nil
+}
+
+// upKey identifies a reader rank's cached unpack plans for one variable.
+type upKey struct {
+	name string
+	rank int
+}
+
+// upEntry is one cached piece-region → assembly-buffer scatter plan.
+type upEntry struct {
+	region   ndarray.Box
+	elemSize int
+	plan     *ndarray.Plan
+}
+
+// unpackPlanFor returns (building and caching if needed) the plan that
+// scatters a packed piece covering region into the rank's assembly
+// buffer laid out as selBox. Caller holds g.mu; selections are immutable
+// once reading starts, so entries never need invalidation — only the
+// small per-writer set of piece regions accumulates.
+func (g *ReaderGroup) unpackPlanFor(name string, rank int, selBox, region ndarray.Box, elemSize int) (*ndarray.Plan, error) {
+	key := upKey{name: name, rank: rank}
+	entries := g.upPlans[key]
+	for i := range entries {
+		if entries[i].elemSize == elemSize && entries[i].region.Equal(region) {
+			if g.mon != nil {
+				g.mon.Incr("plan.cache.hit", 1)
+			}
+			return entries[i].plan, nil
+		}
+	}
+	plan, err := ndarray.NewUnpackPlan(selBox, region, elemSize)
+	if err != nil {
+		return nil, err
+	}
+	g.upPlans[key] = append(entries, upEntry{region: region, elemSize: elemSize, plan: plan})
+	if g.mon != nil {
+		g.mon.Incr("plan.cache.build", 1)
+	}
+	return plan, nil
+}
+
+// disjointRegions reports whether every pair of piece regions is
+// non-overlapping — the precondition for unpacking pieces into the
+// shared assembly buffer concurrently. Writer decompositions are
+// disjoint by construction, so this is the common case; overlapping
+// (replicated) writers fall back to sequential unpack.
+func disjointRegions(ps []piece) bool {
+	for i := 0; i < len(ps); i++ {
+		for j := i + 1; j < len(ps); j++ {
+			if _, overlap := ps[i].box.Intersect(ps[j].box); overlap {
+				return false
+			}
+		}
+	}
+	return true
+}

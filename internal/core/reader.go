@@ -10,6 +10,7 @@ import (
 	"flexio/internal/evpath"
 	"flexio/internal/monitor"
 	"flexio/internal/ndarray"
+	"flexio/internal/shm"
 )
 
 // ErrEndOfStream reports that the writer closed the stream: the return
@@ -46,6 +47,14 @@ type ReaderGroup struct {
 	plugins    []pluginEntry
 	pluginAcks map[string]chan error
 	nextAnon   int
+
+	// Unpack plan cache and assembly-buffer pool: selections are fixed
+	// once reading starts, so the scatter geometry of each arriving piece
+	// region is computed once and replayed every step; assembly buffers
+	// are recycled through asmPool when the application returns them via
+	// ReleaseArray.
+	upPlans map[upKey][]upEntry
+	asmPool *shm.BufferPool
 
 	writerReport     *monitor.Report
 	writerReportStep int64
@@ -113,6 +122,8 @@ func NewReaderGroup(net *evpath.Net, dir directory.Directory, stream string, nRe
 		steps:     make(map[int64]*readerStep),
 		writerCnt: make(map[int]int),
 		dists:     make(map[string]distInfo),
+		upPlans:   make(map[upKey][]upEntry),
+		asmPool:   shm.NewBufferPool(0),
 	}
 	g.cond = sync.NewCond(&g.mu)
 	// Per-rank data listeners must exist before the writers dial.
@@ -542,9 +553,17 @@ func (r *Reader) BeginStep() (step int64, ok bool) {
 	}
 }
 
+// parallelUnpackBytes is the minimum total payload size before ReadArray
+// fans piece unpacking out to the worker pool; below it the
+// orchestration overhead outweighs the copies.
+const parallelUnpackBytes = 256 << 10
+
 // ReadArray assembles this reader's declared selection of a global array
 // for the current step. It returns the packed bytes (row-major over the
-// selection box) plus the box itself.
+// selection box) plus the box itself. The returned buffer comes from the
+// group's assembly pool; the application may hand it back with
+// ReleaseArray once done to make steady-state reads allocation-free, or
+// simply drop it for the garbage collector.
 func (r *Reader) ReadArray(name string) ([]byte, ndarray.Box, error) {
 	g := r.g
 	g.mu.Lock()
@@ -570,13 +589,55 @@ func (r *Reader) ReadArray(name string) ([]byte, ndarray.Box, error) {
 		// No data arrived for the selection (writers had no overlap).
 		return nil, box, fmt.Errorf("core: no data for %q selection %v at step %d", name, box, r.curStep)
 	}
-	out := make([]byte, box.NumElements()*int64(elemSize))
-	for _, p := range ps {
-		if err := ndarray.Unpack(out, p.data, box, p.box, elemSize); err != nil {
+	need := box.NumElements() * int64(elemSize)
+	out, err := g.asmPool.Get(int(need))
+	if err != nil {
+		return nil, box, err
+	}
+	// Pooled buffers carry stale bytes; gaps the pieces don't cover must
+	// read as zero, like a freshly allocated buffer.
+	for i := range out {
+		out[i] = 0
+	}
+	// Resolve every piece's cached scatter plan first, then execute —
+	// concurrently when the pieces are big enough and provably disjoint.
+	plans := make([]*ndarray.Plan, len(ps))
+	var total int64
+	for i := range ps {
+		plans[i], err = g.unpackPlanFor(name, r.Rank, box, ps[i].box, elemSize)
+		if err != nil {
+			g.asmPool.Put(out)
 			return nil, box, err
 		}
+		total += plans[i].Bytes()
+	}
+	if len(ps) >= 2 && total >= parallelUnpackBytes && disjointRegions(ps) {
+		err = parallelFor(len(ps), 0, func(i int) error {
+			return plans[i].Execute(out, ps[i].data)
+		})
+	} else {
+		for i := range ps {
+			if err = plans[i].Execute(out, ps[i].data); err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		g.asmPool.Put(out)
+		return nil, box, err
 	}
 	return out, box, nil
+}
+
+// ReleaseArray returns a buffer obtained from ReadArray to the assembly
+// pool for reuse by a later step. The caller must not touch the buffer
+// afterwards. Passing any other slice is a misuse that at worst parks
+// the slice on a never-matching free list.
+func (r *Reader) ReleaseArray(buf []byte) {
+	if buf == nil {
+		return
+	}
+	r.g.asmPool.Put(buf)
 }
 
 // ReadScalar returns a scalar variable's bytes for the current step.

@@ -140,6 +140,15 @@ type Options struct {
 	// movement faults (Section II.H); default 3, 0 keeps the default,
 	// negative disables retries.
 	SendRetries int
+	// PackWorkers bounds the worker pool that executes redistribution
+	// plans (packing and sending) across writer ranks in parallel.
+	// 0 means GOMAXPROCS; 1 forces sequential execution.
+	PackWorkers int
+	// PoolMaxBytes caps the bytes the payload buffer pool retains on its
+	// free lists between steps (0 = unbounded). Excess buffers are
+	// released to the garbage collector, mirroring the shared-memory
+	// pool's configurable threshold.
+	PoolMaxBytes int64
 }
 
 func (o *Options) withDefaults() Options {

@@ -10,6 +10,7 @@ import (
 	"flexio/internal/evpath"
 	"flexio/internal/monitor"
 	"flexio/internal/ndarray"
+	"flexio/internal/shm"
 )
 
 // WriterGroup is the writer-program side of a stream: M writer ranks plus
@@ -50,6 +51,15 @@ type WriterGroup struct {
 	lastDist    map[string]string // var -> fingerprint of writer boxes last handshaken
 	sentAnyDist bool
 
+	// Redistribution plan cache: precompiled pack schedules per
+	// (variable, writer rank), invalidated by selection generation or a
+	// changed writer box. payloadPool recycles packed piece payloads and
+	// deposited variable copies across timesteps.
+	planMu      sync.Mutex
+	plans       map[varPlanKey]*varPlanEntry
+	selGen      uint64
+	payloadPool *shm.BufferPool
+
 	closeOnce sync.Once
 }
 
@@ -80,6 +90,10 @@ type varData struct {
 // handshake (Step 2 from the peer's perspective).
 type readerSelections struct {
 	nReaders int
+	// gen is a monotonically increasing generation stamped on each
+	// selection message the coordinator receives; the plan cache keys its
+	// validity on it, so a re-selection invalidates every cached plan.
+	gen uint64
 	// arrays[var][reader] is the reader's requested box (empty box = not
 	// selected by that reader).
 	arrays map[string][]ndarray.Box
@@ -95,14 +109,16 @@ func NewWriterGroup(net *evpath.Net, dir directory.Directory, stream string, nWr
 		return nil, fmt.Errorf("core: writer group needs at least 1 rank")
 	}
 	g := &WriterGroup{
-		Stream:   stream,
-		NWriters: nWriters,
-		opts:     opts.withDefaults(),
-		net:      net,
-		dir:      dir,
-		mon:      mon,
-		lastDist: make(map[string]string),
-		open:     make(map[int64]*pendingStep),
+		Stream:      stream,
+		NWriters:    nWriters,
+		opts:        opts.withDefaults(),
+		net:         net,
+		dir:         dir,
+		mon:         mon,
+		lastDist:    make(map[string]string),
+		open:        make(map[int64]*pendingStep),
+		plans:       make(map[varPlanKey]*varPlanEntry),
+		payloadPool: shm.NewBufferPool(opts.PoolMaxBytes),
 	}
 	g.selCond = sync.NewCond(&g.selMu)
 
@@ -173,6 +189,8 @@ func (g *WriterGroup) acceptCoordinator() {
 			return
 		}
 		g.selMu.Lock()
+		g.selGen++
+		sel.gen = g.selGen
 		g.sel = sel
 		g.nReaders = sel.nReaders
 		g.selReady = true
@@ -286,7 +304,10 @@ func (w *Writer) Write(meta VarMeta, data []byte) error {
 			return fmt.Errorf("core: scalar %q: %d bytes, want %d", meta.Name, need, meta.ElemSize)
 		}
 	}
-	cp := make([]byte, len(data))
+	cp, err := w.g.payloadPool.Get(len(data))
+	if err != nil {
+		return err
+	}
 	copy(cp, data)
 	if w.g.mon != nil {
 		w.g.mon.RecordAlloc(int64(len(cp)))
@@ -440,7 +461,7 @@ func (g *WriterGroup) flush(ps *pendingStep) error {
 	// Step completion markers let readers detect step boundaries without
 	// trusting piece counts.
 	for w := 0; w < g.NWriters; w++ {
-		for r := 0; r < g.nReaders; r++ {
+		for r := 0; r < sel.nReaders; r++ {
 			ev := &evpath.Event{Meta: evpath.Record{
 				"kind": msgStepDone, "step": ps.step, "writer": int64(w),
 			}}
@@ -449,12 +470,14 @@ func (g *WriterGroup) flush(ps *pendingStep) error {
 			}
 		}
 	}
-	// Release deposited buffers.
-	if g.mon != nil {
-		for _, vars := range ps.vars {
-			for _, v := range vars {
+	// Release deposited buffers back to the payload pool: every event
+	// referencing them has been encoded onto its connection by now.
+	for _, vars := range ps.vars {
+		for _, v := range vars {
+			if g.mon != nil {
 				g.mon.RecordFree(int64(len(v.data)))
 			}
+			g.payloadPool.Put(v.data)
 		}
 	}
 	// Online monitoring: gather this side's counters and ship them to
@@ -510,10 +533,19 @@ func (g *WriterGroup) sendWriterDist(ps *pendingStep, name string) error {
 }
 
 // sendPerVariable moves each variable separately (default granularity).
+// Writer ranks proceed in parallel on the bounded executor: each rank
+// owns its own row of data connections, so per-rank packing and sending
+// are independent.
 func (g *WriterGroup) sendPerVariable(ps *pendingStep, sel readerSelections) error {
-	for w := 0; w < g.NWriters; w++ {
+	return parallelFor(g.NWriters, g.opts.PackWorkers, func(w int) error {
+		var pooled [][]byte
+		defer func() {
+			for _, buf := range pooled {
+				g.payloadPool.Put(buf)
+			}
+		}()
 		for _, v := range ps.vars[w] {
-			pieces, err := g.piecesFor(ps.step, w, v, sel)
+			pieces, err := g.piecesFor(ps.step, w, v, sel, &pooled)
 			if err != nil {
 				return err
 			}
@@ -535,17 +567,24 @@ func (g *WriterGroup) sendPerVariable(ps *pendingStep, sel readerSelections) err
 				}
 			}
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 // sendBatched packs all of a writer's pieces for one reader into a single
-// framed transfer, aggregating handshaking and data messages.
+// framed transfer, aggregating handshaking and data messages. As in
+// sendPerVariable, writer ranks run in parallel.
 func (g *WriterGroup) sendBatched(ps *pendingStep, sel readerSelections) error {
-	for w := 0; w < g.NWriters; w++ {
+	return parallelFor(g.NWriters, g.opts.PackWorkers, func(w int) error {
+		var pooled [][]byte
+		defer func() {
+			for _, buf := range pooled {
+				g.payloadPool.Put(buf)
+			}
+		}()
 		perReader := make(map[int][]*evpath.Event)
 		for _, v := range ps.vars[w] {
-			pieces, err := g.piecesFor(ps.step, w, v, sel)
+			pieces, err := g.piecesFor(ps.step, w, v, sel, &pooled)
 			if err != nil {
 				return err
 			}
@@ -593,14 +632,19 @@ func (g *WriterGroup) sendBatched(ps *pendingStep, sel readerSelections) error {
 				return err
 			}
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 // piecesFor computes the pieces writer w must send for variable v,
 // keyed by reader rank. This is the per-process mapping computation: the
-// overlap of the writer's box with each reader's requested box.
-func (g *WriterGroup) piecesFor(step int64, w int, v varData, sel readerSelections) (map[int][]*evpath.Event, error) {
+// overlap of the writer's box with each reader's requested box. For
+// global arrays the geometry comes from the redistribution plan cache,
+// and packed payloads are drawn from the payload pool; the pooled
+// buffers are appended to *pooled and must be returned by the caller
+// once every event referencing them has been encoded onto its
+// connection.
+func (g *WriterGroup) piecesFor(step int64, w int, v varData, sel readerSelections, pooled *[][]byte) (map[int][]*evpath.Event, error) {
 	out := make(map[int][]*evpath.Event)
 	switch v.meta.Kind {
 	case ScalarVar:
@@ -608,7 +652,7 @@ func (g *WriterGroup) piecesFor(step int64, w int, v varData, sel readerSelectio
 		if w != 0 {
 			return out, nil
 		}
-		for r := 0; r < g.nReaders; r++ {
+		for r := 0; r < sel.nReaders; r++ {
 			out[r] = append(out[r], &evpath.Event{
 				Meta: evpath.Record{
 					"kind": msgData, "step": step, "var": v.meta.Name,
@@ -634,25 +678,34 @@ func (g *WriterGroup) piecesFor(step int64, w int, v varData, sel readerSelectio
 		if !ok {
 			return out, nil // nobody reads this variable
 		}
-		for r := 0; r < g.nReaders && r < len(selBoxes); r++ {
-			rb := selBoxes[r]
-			if rb.Empty() {
-				continue
-			}
-			ov, has := v.meta.Box.Intersect(rb)
-			if !has {
-				continue
-			}
-			packed, err := ndarray.Pack(nil, v.data, v.meta.Box, ov, v.meta.ElemSize)
+		if len(selBoxes) != sel.nReaders {
+			// A well-formed reader-dist message always carries one box per
+			// reader rank (empty boxes for non-selecting ranks); anything
+			// else would silently starve the trailing readers.
+			return nil, fmt.Errorf("core: %q: reader selection has %d boxes for %d readers",
+				v.meta.Name, len(selBoxes), sel.nReaders)
+		}
+		entry, err := g.packPlansFor(w, v, sel, selBoxes)
+		if err != nil {
+			return nil, err
+		}
+		nd := int64(len(v.meta.GlobalShape))
+		for i := range entry.targets {
+			tgt := &entry.targets[i]
+			packed, err := g.payloadPool.Get(int(tgt.plan.Bytes()))
 			if err != nil {
 				return nil, err
 			}
-			nd := len(v.meta.GlobalShape)
-			out[r] = append(out[r], &evpath.Event{
+			if err := tgt.plan.Execute(packed, v.data); err != nil {
+				g.payloadPool.Put(packed)
+				return nil, err
+			}
+			*pooled = append(*pooled, packed)
+			out[tgt.reader] = append(out[tgt.reader], &evpath.Event{
 				Meta: evpath.Record{
 					"kind": msgData, "step": step, "var": v.meta.Name,
 					"varkind": int64(GlobalArrayVar), "elemsize": int64(v.meta.ElemSize),
-					"ndims": int64(nd), "box": encodeBoxes([]ndarray.Box{ov}, nd),
+					"ndims": nd, "box": tgt.boxMeta,
 					"writer": int64(w),
 				},
 				Data: packed,

@@ -7,6 +7,11 @@ import "fmt"
 // elemSize is the per-element byte size. The returned slice aliases dst if
 // dst has sufficient capacity, otherwise a new slice is allocated. Pack is
 // the "pack strides for each receiver" step of the data movement protocol.
+//
+// The copy itself runs on the coalesced-run kernel (see copyShape): full
+// trailing rows collapse into single memmoves and per-run offsets advance
+// incrementally, so Pack performs no heap allocation beyond (possibly)
+// growing dst.
 func Pack(dst []byte, src []byte, srcBox, region Box, elemSize int) ([]byte, error) {
 	if !srcBox.ContainsBox(region) {
 		return nil, fmt.Errorf("ndarray: pack region %v not inside source box %v", region, srcBox)
@@ -24,7 +29,11 @@ func Pack(dst []byte, src []byte, srcBox, region Box, elemSize int) ([]byte, err
 	if need == 0 {
 		return dst, nil
 	}
-	copyRegion(dst, src, srcBox, region, region, elemSize, true)
+	shape, err := computeShape(region, srcBox, region, elemSize)
+	if err != nil {
+		return nil, err
+	}
+	shape.execute(dst, src)
 	return dst, nil
 }
 
@@ -46,7 +55,11 @@ func Unpack(dst []byte, packed []byte, dstBox, region Box, elemSize int) error {
 	if need == 0 {
 		return nil
 	}
-	copyRegion(dst, packed, dstBox, region, region, elemSize, false)
+	shape, err := computeShape(dstBox, region, region, elemSize)
+	if err != nil {
+		return err
+	}
+	shape.execute(dst, packed)
 	return nil
 }
 
@@ -61,71 +74,10 @@ func CopyRegion(dst, src []byte, dstBox, srcBox, region Box, elemSize int) error
 	if region.Empty() {
 		return nil
 	}
-	// Iterate rows of the region: all dims except the last are looped, the
-	// last dim is a contiguous memmove.
-	nd := region.NDims()
-	rowElems := region.Hi[nd-1] - region.Lo[nd-1]
-	rowBytes := rowElems * int64(elemSize)
-	srcStrides := srcBox.Strides()
-	dstStrides := dstBox.Strides()
-	pt := make([]int64, nd)
-	copy(pt, region.Lo)
-	for {
-		var so, do int64
-		for d := 0; d < nd; d++ {
-			so += (pt[d] - srcBox.Lo[d]) * srcStrides[d]
-			do += (pt[d] - dstBox.Lo[d]) * dstStrides[d]
-		}
-		copy(dst[do*int64(elemSize):do*int64(elemSize)+rowBytes],
-			src[so*int64(elemSize):so*int64(elemSize)+rowBytes])
-		// advance to next row (dims 0..nd-2)
-		d := nd - 2
-		for ; d >= 0; d-- {
-			pt[d]++
-			if pt[d] < region.Hi[d] {
-				break
-			}
-			pt[d] = region.Lo[d]
-		}
-		if d < 0 {
-			return nil
-		}
+	shape, err := computeShape(dstBox, srcBox, region, elemSize)
+	if err != nil {
+		return err
 	}
-}
-
-// copyRegion implements Pack (packing=true: dst is dense over packedBox)
-// and Unpack (packing=false: src is dense over packedBox).
-func copyRegion(dst, src []byte, stridedBox, region, packedBox Box, elemSize int, packing bool) {
-	nd := region.NDims()
-	rowElems := region.Hi[nd-1] - region.Lo[nd-1]
-	rowBytes := rowElems * int64(elemSize)
-	stridedStrides := stridedBox.Strides()
-	packedStrides := packedBox.Strides()
-	pt := make([]int64, nd)
-	copy(pt, region.Lo)
-	for {
-		var so, po int64
-		for d := 0; d < nd; d++ {
-			so += (pt[d] - stridedBox.Lo[d]) * stridedStrides[d]
-			po += (pt[d] - packedBox.Lo[d]) * packedStrides[d]
-		}
-		sb := so * int64(elemSize)
-		pb := po * int64(elemSize)
-		if packing {
-			copy(dst[pb:pb+rowBytes], src[sb:sb+rowBytes])
-		} else {
-			copy(dst[sb:sb+rowBytes], src[pb:pb+rowBytes])
-		}
-		d := nd - 2
-		for ; d >= 0; d-- {
-			pt[d]++
-			if pt[d] < region.Hi[d] {
-				break
-			}
-			pt[d] = region.Lo[d]
-		}
-		if d < 0 {
-			return
-		}
-	}
+	shape.execute(dst, src)
+	return nil
 }

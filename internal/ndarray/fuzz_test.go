@@ -1,0 +1,173 @@
+package ndarray
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestPackUnpackEdgeCases pins down the corner geometries of the pack
+// path: 1-D and 4-D regions, empty intersections, every supported element
+// width, and dst-capacity reuse semantics.
+func TestPackUnpackEdgeCases(t *testing.T) {
+	t.Run("1D", func(t *testing.T) {
+		for _, es := range []int{1, 4, 8} {
+			src := BoxFromShape([]int64{64})
+			region := NewBox([]int64{17}, []int64{53})
+			buf := make([]byte, src.NumElements()*int64(es))
+			fillPattern(buf)
+			packed, err := Pack(nil, buf, src, region, es)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := buf[17*es : 53*es]
+			if !bytes.Equal(packed, want) {
+				t.Fatalf("1D pack elem%d mismatch", es)
+			}
+			dst := make([]byte, len(buf))
+			if err := Unpack(dst, packed, src, region, es); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(dst[17*es:53*es], want) {
+				t.Fatalf("1D unpack elem%d mismatch", es)
+			}
+		}
+	})
+	t.Run("4D", func(t *testing.T) {
+		src := BoxFromShape([]int64{4, 5, 6, 7})
+		region := NewBox([]int64{1, 1, 2, 3}, []int64{3, 4, 5, 6})
+		buf := make([]byte, src.NumElements()*4)
+		fillPattern(buf)
+		packed, err := Pack(nil, buf, src, region, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(packed, referencePack(buf, src, region, 4)) {
+			t.Fatal("4D pack mismatch vs reference")
+		}
+	})
+	t.Run("empty-intersection", func(t *testing.T) {
+		a := BoxFromShape([]int64{8, 8})
+		b := NewBox([]int64{8, 8}, []int64{16, 16})
+		if _, ok := a.Intersect(b); ok {
+			t.Fatal("disjoint boxes intersect")
+		}
+		empty := NewBox([]int64{3, 3}, []int64{3, 8})
+		packed, err := Pack(nil, make([]byte, 8*8*8), a, empty, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(packed) != 0 {
+			t.Fatalf("empty region packed %d bytes", len(packed))
+		}
+		if err := Unpack(make([]byte, 8*8*8), nil, a, empty, 8); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("dst-capacity-reuse", func(t *testing.T) {
+		src := BoxFromShape([]int64{16, 16})
+		region := NewBox([]int64{4, 4}, []int64{12, 12})
+		buf := make([]byte, src.NumElements()*8)
+		fillPattern(buf)
+		big := make([]byte, 0, 16*16*8)
+		packed, err := Pack(big, buf, src, region, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if &packed[0] != &big[:1][0] {
+			t.Fatal("Pack did not reuse sufficient dst capacity")
+		}
+		if int64(len(packed)) != region.NumElements()*8 {
+			t.Fatalf("packed len %d", len(packed))
+		}
+		// Too-small capacity: a fresh allocation, original untouched.
+		small := make([]byte, 0, 8)
+		packed2, err := Pack(small, buf, src, region, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cap(packed2) == cap(small) {
+			t.Fatal("Pack reused insufficient dst")
+		}
+		if !bytes.Equal(packed, packed2) {
+			t.Fatal("reused and fresh packs differ")
+		}
+	})
+}
+
+// FuzzPackUnpack asserts Pack→Unpack is the identity on the overlap
+// region for fuzzer-chosen geometries: after unpacking into a zeroed
+// destination, re-packing the destination yields the original packed
+// bytes, and bytes outside the region stay zero.
+func FuzzPackUnpack(f *testing.F) {
+	f.Add(int64(8), int64(8), int64(1), int64(1), int64(7), int64(7), uint8(8), uint8(2))
+	f.Add(int64(4), int64(16), int64(0), int64(3), int64(4), int64(13), uint8(4), uint8(2))
+	f.Add(int64(32), int64(1), int64(5), int64(0), int64(30), int64(1), uint8(1), uint8(2))
+	f.Add(int64(6), int64(6), int64(2), int64(2), int64(2), int64(5), uint8(8), uint8(1))
+	f.Add(int64(3), int64(4), int64(0), int64(0), int64(3), int64(4), uint8(8), uint8(3))
+	f.Fuzz(func(t *testing.T, d0, d1, lo0, lo1, hi0, hi1 int64, elem uint8, ndSeed uint8) {
+		nd := int(ndSeed%3) + 1 // 1-D, 2-D or 3-D
+		es := int(elem)
+		if es != 1 && es != 4 && es != 8 {
+			t.Skip()
+		}
+		clamp := func(v, lim int64) int64 {
+			if v < 0 {
+				v = -v
+			}
+			return v % (lim + 1)
+		}
+		d0, d1 = clamp(d0, 24)+1, clamp(d1, 24)+1
+		dims := []int64{d0, d1, 5}[:nd]
+		src := BoxFromShape(dims)
+		lo := []int64{clamp(lo0, d0), clamp(lo1, d1), 1}[:nd]
+		hi := []int64{clamp(hi0, d0), clamp(hi1, d1), 4}[:nd]
+		region := NewBox(lo, hi)
+		if !src.ContainsBox(region) {
+			t.Skip()
+		}
+		buf := make([]byte, src.NumElements()*int64(es))
+		for i := range buf {
+			buf[i] = byte(i%255 + 1) // never zero: distinguishes copied vs untouched
+		}
+		packed, err := Pack(nil, buf, src, region, es)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]byte, src.NumElements()*int64(es))
+		if err := Unpack(dst, packed, src, region, es); err != nil {
+			t.Fatal(err)
+		}
+		repacked, err := Pack(nil, dst, src, region, es)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(packed, repacked) {
+			t.Fatalf("pack→unpack→pack not identity for src=%v region=%v elem=%d", src, region, es)
+		}
+		// Everything outside the region must still be zero.
+		inRegion := func(flat int64) bool {
+			pt := make([]int64, nd)
+			rem := flat
+			for d := nd - 1; d >= 0; d-- {
+				ext := src.Hi[d] - src.Lo[d]
+				pt[d] = rem%ext + src.Lo[d]
+				rem /= ext
+			}
+			return region.Contains(pt)
+		}
+		for i := int64(0); i < src.NumElements(); i++ {
+			zero := true
+			for j := int64(0); j < int64(es); j++ {
+				if dst[i*int64(es)+j] != 0 {
+					zero = false
+					break
+				}
+			}
+			if inRegion(i) == zero && !region.Empty() {
+				t.Fatalf("element %d: inRegion=%v but zero=%v (%s)", i, inRegion(i), zero,
+					fmt.Sprintf("src=%v region=%v", src, region))
+			}
+		}
+	})
+}

@@ -1,0 +1,209 @@
+package ndarray
+
+import "fmt"
+
+// copyShape is the precomputed geometry of one region transfer between
+// two row-major layouts: the region is decomposed into `runs` contiguous
+// byte runs of `runBytes` each, and the per-run source/destination
+// offsets are produced by an odometer over the outer (non-coalesced)
+// dimensions using incremental jumps — no per-row offset dot-product and
+// no heap allocation at execution time.
+//
+// Coalescing: starting from the innermost dimension, dimension k-1 is
+// merged into the run whenever dimensions k..nd-1 of the region span the
+// full extent of *both* layouts (then stepping dim k-1 advances both
+// offsets exactly by the run length, so adjacent rows are contiguous).
+// A fully-overlapping transfer therefore collapses to a single memmove.
+type copyShape struct {
+	runs     int64
+	runBytes int64
+	nOuter   int            // odometer dims (dims 0..nOuter-1 of region)
+	counts   [MaxDims]int64 // outer-dim extents
+	srcJump  [MaxDims]int64 // byte delta when that dim increments (inner dims wrapped)
+	dstJump  [MaxDims]int64
+	srcBase  int64 // byte offset of the first run
+	dstBase  int64
+}
+
+// stridesInto writes row-major element strides for box b into st without
+// allocating. Returns false if the box has more than MaxDims dims.
+func stridesInto(b Box, st *[MaxDims]int64) bool {
+	n := len(b.Lo)
+	if n > MaxDims {
+		return false
+	}
+	if n == 0 {
+		return true
+	}
+	st[n-1] = 1
+	for d := n - 2; d >= 0; d-- {
+		st[d] = st[d+1] * (b.Hi[d+1] - b.Lo[d+1])
+	}
+	return true
+}
+
+// computeShape builds the transfer geometry for copying region between a
+// source laid out as srcBox and a destination laid out as dstBox. The
+// caller must have validated containment; computeShape only requires the
+// ranks to agree and not exceed MaxDims.
+func computeShape(dstBox, srcBox, region Box, elemSize int) (copyShape, error) {
+	var s copyShape
+	nd := region.NDims()
+	if nd > MaxDims || dstBox.NDims() != nd || srcBox.NDims() != nd {
+		return s, fmt.Errorf("ndarray: copy rank mismatch or beyond MaxDims: dst %d src %d region %d",
+			dstBox.NDims(), srcBox.NDims(), nd)
+	}
+	if nd == 0 || region.Empty() {
+		return s, nil // runs == 0: nothing to move
+	}
+	var srcStrides, dstStrides [MaxDims]int64
+	stridesInto(srcBox, &srcStrides)
+	stridesInto(dstBox, &dstStrides)
+
+	// Coalesce trailing dimensions into a single contiguous run.
+	runElems := region.Hi[nd-1] - region.Lo[nd-1]
+	k := nd - 1
+	for k > 0 &&
+		region.Hi[k]-region.Lo[k] == srcBox.Hi[k]-srcBox.Lo[k] &&
+		region.Hi[k]-region.Lo[k] == dstBox.Hi[k]-dstBox.Lo[k] {
+		k--
+		runElems *= region.Hi[k] - region.Lo[k]
+	}
+	s.runBytes = runElems * int64(elemSize)
+	s.nOuter = k
+	s.runs = 1
+	for d := 0; d < k; d++ {
+		s.counts[d] = region.Hi[d] - region.Lo[d]
+		s.runs *= s.counts[d]
+	}
+	for d := 0; d < nd; d++ {
+		s.srcBase += (region.Lo[d] - srcBox.Lo[d]) * srcStrides[d]
+		s.dstBase += (region.Lo[d] - dstBox.Lo[d]) * dstStrides[d]
+	}
+	s.srcBase *= int64(elemSize)
+	s.dstBase *= int64(elemSize)
+	// Jump for dim d: applied when dim d increments after dims d+1..k-1
+	// wrapped back to zero.
+	for d := 0; d < k; d++ {
+		sj, dj := srcStrides[d], dstStrides[d]
+		for e := d + 1; e < k; e++ {
+			sj -= (s.counts[e] - 1) * srcStrides[e]
+			dj -= (s.counts[e] - 1) * dstStrides[e]
+		}
+		s.srcJump[d] = sj * int64(elemSize)
+		s.dstJump[d] = dj * int64(elemSize)
+	}
+	return s, nil
+}
+
+// execute performs the copy. It does no bounds validation beyond what
+// Go's slice indexing enforces; Plan.Execute wraps it with length checks.
+func (s *copyShape) execute(dst, src []byte) {
+	if s.runs == 0 {
+		return
+	}
+	so, do, rb := s.srcBase, s.dstBase, s.runBytes
+	if s.runs == 1 {
+		copy(dst[do:do+rb], src[so:so+rb])
+		return
+	}
+	var ctr [MaxDims]int64
+	k := s.nOuter
+	for {
+		copy(dst[do:do+rb], src[so:so+rb])
+		d := k - 1
+		for ; d >= 0; d-- {
+			ctr[d]++
+			if ctr[d] < s.counts[d] {
+				so += s.srcJump[d]
+				do += s.dstJump[d]
+				break
+			}
+			ctr[d] = 0
+		}
+		if d < 0 {
+			return
+		}
+	}
+}
+
+// Plan is a reusable, immutable schedule for moving one region between
+// two row-major layouts. Computing a Plan once per (variable, writer
+// decomposition, reader selection) and executing it every timestep is
+// FlexIO's steady-state fast path: Execute allocates nothing and touches
+// only the bytes of the region.
+type Plan struct {
+	DstBox   Box // destination layout
+	SrcBox   Box // source layout
+	Region   Box // transferred region (contained in both boxes)
+	ElemSize int
+
+	shape      copyShape
+	minSrcLen  int64
+	minDstLen  int64
+	regionSize int64 // bytes moved per Execute
+}
+
+// NewPlan validates and precomputes a transfer of region from a buffer
+// laid out as srcBox into a buffer laid out as dstBox.
+func NewPlan(dstBox, srcBox, region Box, elemSize int) (*Plan, error) {
+	if elemSize <= 0 {
+		return nil, fmt.Errorf("ndarray: plan elemSize %d", elemSize)
+	}
+	if !srcBox.ContainsBox(region) || !dstBox.ContainsBox(region) {
+		return nil, fmt.Errorf("ndarray: plan region %v not inside src %v and dst %v", region, srcBox, dstBox)
+	}
+	shape, err := computeShape(dstBox, srcBox, region, elemSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{
+		DstBox:     dstBox,
+		SrcBox:     srcBox,
+		Region:     region,
+		ElemSize:   elemSize,
+		shape:      shape,
+		minSrcLen:  srcBox.NumElements() * int64(elemSize),
+		minDstLen:  dstBox.NumElements() * int64(elemSize),
+		regionSize: region.NumElements() * int64(elemSize),
+	}, nil
+}
+
+// NewPackPlan precomputes the writer-side "pack strides for one
+// receiver" step: region is gathered from a srcBox-layout buffer into a
+// dense row-major buffer of exactly the region's shape.
+func NewPackPlan(srcBox, region Box, elemSize int) (*Plan, error) {
+	return NewPlan(region, srcBox, region, elemSize)
+}
+
+// NewUnpackPlan precomputes the reader-side scatter: a dense region
+// buffer (as produced by a pack plan) is placed into a dstBox-layout
+// assembly buffer.
+func NewUnpackPlan(dstBox, region Box, elemSize int) (*Plan, error) {
+	return NewPlan(dstBox, region, region, elemSize)
+}
+
+// Bytes reports how many payload bytes one Execute moves.
+func (p *Plan) Bytes() int64 { return p.regionSize }
+
+// Runs reports the number of contiguous memmoves per Execute (after
+// coalescing); 1 means the transfer degenerated to a single copy.
+func (p *Plan) Runs() int64 { return p.shape.runs }
+
+// Execute performs the planned copy. Buffers may be shorter than the
+// full layout only if the plan moves nothing. Execute is safe for
+// concurrent use with distinct or even identical buffers as long as the
+// destination regions of concurrent plans do not overlap.
+func (p *Plan) Execute(dst, src []byte) error {
+	if p.regionSize == 0 {
+		return nil
+	}
+	if int64(len(src)) < p.minSrcLen {
+		return fmt.Errorf("ndarray: plan src %d bytes, layout %v needs %d", len(src), p.SrcBox, p.minSrcLen)
+	}
+	if int64(len(dst)) < p.minDstLen {
+		return fmt.Errorf("ndarray: plan dst %d bytes, layout %v needs %d", len(dst), p.DstBox, p.minDstLen)
+	}
+	p.shape.execute(dst, src)
+	return nil
+}

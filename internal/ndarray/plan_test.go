@@ -1,0 +1,240 @@
+package ndarray
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// fillPattern writes a distinct byte sequence so misplaced copies are
+// detectable.
+func fillPattern(b []byte) {
+	for i := range b {
+		b[i] = byte(i*7 + 3)
+	}
+}
+
+// referencePack is the straightforward per-element pack used as an
+// oracle for the coalesced kernel.
+func referencePack(src []byte, srcBox, region Box, elemSize int) []byte {
+	out := make([]byte, region.NumElements()*int64(elemSize))
+	if region.Empty() {
+		return out
+	}
+	nd := region.NDims()
+	pt := make([]int64, nd)
+	copy(pt, region.Lo)
+	srcStrides := srcBox.Strides()
+	regStrides := region.Strides()
+	for {
+		var so, ro int64
+		for d := 0; d < nd; d++ {
+			so += (pt[d] - srcBox.Lo[d]) * srcStrides[d]
+			ro += (pt[d] - region.Lo[d]) * regStrides[d]
+		}
+		copy(out[ro*int64(elemSize):(ro+1)*int64(elemSize)],
+			src[so*int64(elemSize):(so+1)*int64(elemSize)])
+		d := nd - 1
+		for ; d >= 0; d-- {
+			pt[d]++
+			if pt[d] < region.Hi[d] {
+				break
+			}
+			pt[d] = region.Lo[d]
+		}
+		if d < 0 {
+			return out
+		}
+	}
+}
+
+func TestPlanMatchesReference(t *testing.T) {
+	cases := []struct {
+		name   string
+		src    Box
+		region Box
+	}{
+		{"1D-middle", BoxFromShape([]int64{40}), NewBox([]int64{7}, []int64{31})},
+		{"1D-full", BoxFromShape([]int64{40}), BoxFromShape([]int64{40})},
+		{"2D-inner", BoxFromShape([]int64{9, 11}), NewBox([]int64{2, 3}, []int64{7, 9})},
+		{"2D-full-rows", BoxFromShape([]int64{9, 11}), NewBox([]int64{2, 0}, []int64{7, 11})},
+		{"3D-inner", BoxFromShape([]int64{5, 6, 7}), NewBox([]int64{1, 2, 3}, []int64{4, 5, 6})},
+		{"3D-full-rows", BoxFromShape([]int64{5, 6, 7}), NewBox([]int64{1, 0, 0}, []int64{4, 6, 7})},
+		{"3D-partial-middle", BoxFromShape([]int64{5, 6, 7}), NewBox([]int64{0, 2, 0}, []int64{5, 5, 7})},
+		{"4D", BoxFromShape([]int64{3, 4, 5, 6}), NewBox([]int64{1, 1, 1, 1}, []int64{3, 3, 4, 5})},
+		{"4D-single-point", BoxFromShape([]int64{3, 4, 5, 6}), NewBox([]int64{1, 1, 1, 1}, []int64{2, 2, 2, 2})},
+		{"offset-src-box", NewBox([]int64{10, 20}, []int64{18, 31}), NewBox([]int64{12, 24}, []int64{16, 29})},
+	}
+	for _, es := range []int{1, 4, 8} {
+		for _, tc := range cases {
+			t.Run(fmt.Sprintf("%s/elem%d", tc.name, es), func(t *testing.T) {
+				src := make([]byte, tc.src.NumElements()*int64(es))
+				fillPattern(src)
+				want := referencePack(src, tc.src, tc.region, es)
+
+				got, err := Pack(nil, src, tc.src, tc.region, es)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("Pack mismatch for %s", tc.name)
+				}
+
+				plan, err := NewPackPlan(tc.src, tc.region, es)
+				if err != nil {
+					t.Fatal(err)
+				}
+				planned := make([]byte, len(want))
+				if err := plan.Execute(planned, src); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(planned, want) {
+					t.Fatalf("PackPlan mismatch for %s (runs=%d)", tc.name, plan.Runs())
+				}
+
+				// Round-trip through an unpack plan restores the region.
+				dst := make([]byte, tc.src.NumElements()*int64(es))
+				up, err := NewUnpackPlan(tc.src, tc.region, es)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := up.Execute(dst, planned); err != nil {
+					t.Fatal(err)
+				}
+				reread, err := Pack(nil, dst, tc.src, tc.region, es)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(reread, want) {
+					t.Fatalf("unpack round-trip mismatch for %s", tc.name)
+				}
+			})
+		}
+	}
+}
+
+func TestPlanCoalescing(t *testing.T) {
+	// A fully-overlapping transfer must degenerate to a single run.
+	box := BoxFromShape([]int64{8, 16, 32})
+	p, err := NewPackPlan(box, box, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Runs() != 1 {
+		t.Fatalf("full-box pack: %d runs, want 1", p.Runs())
+	}
+	// Full trailing rows coalesce across the two inner dims.
+	region := NewBox([]int64{2, 0, 0}, []int64{6, 16, 32})
+	p, err = NewPackPlan(box, region, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Runs() != 1 {
+		t.Fatalf("full-rows pack: %d runs, want 1", p.Runs())
+	}
+	// An interior region keeps one run per (outer, middle) row pair.
+	region = NewBox([]int64{2, 4, 8}, []int64{6, 12, 24})
+	p, err = NewPackPlan(box, region, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Runs() != 4*8 {
+		t.Fatalf("interior pack: %d runs, want 32", p.Runs())
+	}
+	if p.Bytes() != 4*8*16*8 {
+		t.Fatalf("interior pack: %d bytes, want %d", p.Bytes(), 4*8*16*8)
+	}
+}
+
+func TestPlanDirectCopy(t *testing.T) {
+	// Strided-to-strided plan (both sides non-dense) matches CopyRegion.
+	srcBox := NewBox([]int64{0, 0}, []int64{10, 12})
+	dstBox := NewBox([]int64{4, 2}, []int64{14, 16})
+	region := NewBox([]int64{5, 3}, []int64{9, 11})
+	src := make([]byte, srcBox.NumElements()*4)
+	fillPattern(src)
+	want := make([]byte, dstBox.NumElements()*4)
+	if err := CopyRegion(want, src, dstBox, srcBox, region, 4); err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlan(dstBox, srcBox, region, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(want))
+	if err := p.Execute(got, src); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("plan direct copy differs from CopyRegion")
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	box := BoxFromShape([]int64{4, 4})
+	outside := NewBox([]int64{2, 2}, []int64{6, 6})
+	if _, err := NewPackPlan(box, outside, 8); err == nil {
+		t.Fatal("region outside box must fail")
+	}
+	if _, err := NewPlan(box, box, box, 0); err == nil {
+		t.Fatal("elemSize 0 must fail")
+	}
+	if _, err := NewPlan(box, BoxFromShape([]int64{4}), box, 8); err == nil {
+		t.Fatal("rank mismatch must fail")
+	}
+	p, err := NewPackPlan(box, box, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Execute(make([]byte, 8), make([]byte, 4*4*8)); err == nil {
+		t.Fatal("short dst must fail")
+	}
+	if err := p.Execute(make([]byte, 4*4*8), make([]byte, 8)); err == nil {
+		t.Fatal("short src must fail")
+	}
+	// Beyond-MaxDims boxes are rejected rather than silently truncated.
+	lo := make([]int64, MaxDims+1)
+	hi := make([]int64, MaxDims+1)
+	for i := range hi {
+		hi[i] = 2
+	}
+	big := Box{Lo: lo, Hi: hi}
+	if _, err := NewPlan(big, big, big, 8); err == nil {
+		t.Fatal("rank > MaxDims must fail")
+	}
+}
+
+func TestPlanEmptyRegion(t *testing.T) {
+	box := BoxFromShape([]int64{4, 4})
+	empty := NewBox([]int64{2, 2}, []int64{2, 4})
+	p, err := NewPackPlan(box, empty, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Bytes() != 0 || p.Runs() != 0 {
+		t.Fatalf("empty plan moves %d bytes in %d runs", p.Bytes(), p.Runs())
+	}
+	// Executing an empty plan must not touch the (nil) buffers.
+	if err := p.Execute(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanExecuteAllocs(t *testing.T) {
+	box := BoxFromShape([]int64{32, 32, 32})
+	region := NewBox([]int64{8, 8, 8}, []int64{24, 24, 24})
+	p, err := NewPackPlan(box, region, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := make([]byte, box.NumElements()*8)
+	dst := make([]byte, region.NumElements()*8)
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := p.Execute(dst, src); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Plan.Execute allocates %.1f per run, want 0", allocs)
+	}
+}
