@@ -1,9 +1,15 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check ci fmt vet build test race bench reconfig
 
 ## check: everything a PR must pass — formatting, vet, build, race tests.
 check: fmt vet build race
+
+## ci: the continuous-integration gate — vet, build, full race-detector run.
+ci:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -42,3 +48,8 @@ bench:
 	     } \
 	     END { print "\n]" }' /tmp/bench_redist.txt > BENCH_redist.json
 	@echo "wrote BENCH_redist.json"
+
+## reconfig: mid-run reconfiguration experiment over real core streams;
+## archives drain/wall costs per N -> N' delta in BENCH_reconfig.json.
+reconfig:
+	$(GO) run ./cmd/flexbench -exp reconfig

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"flexio/internal/dcplugin"
 	"flexio/internal/directory"
 	"flexio/internal/evpath"
 	"flexio/internal/monitor"
@@ -19,17 +20,20 @@ import (
 var ErrEndOfStream = errors.New("core: end of stream")
 
 // ReaderGroup is the analytics-program side of a stream: N reader ranks
-// plus a coordinator (rank 0) that performed the directory lookup.
+// plus a coordinator (rank 0) that performed the directory lookup. The
+// control-plane half (handshake, Reconfigure, teardown signalling) lives
+// in controlplane.go; this file is the data plane.
 type ReaderGroup struct {
 	Stream   string
 	NReaders int
 	net      *evpath.Net
 	dir      directory.Directory
 	mon      *monitor.Monitor
+	sess     *session
 
 	readers   []*Reader
 	coordConn evpath.Conn
-	listeners []*evpath.Listener
+	listeners []*evpath.Listener // current epoch's data listeners
 
 	mu         sync.Mutex
 	cond       *sync.Cond
@@ -40,18 +44,31 @@ type ReaderGroup struct {
 	steps      map[int64]*readerStep
 	writerCnt  map[int]int // writers seen per reader (from hello)
 	nWriters   int
-	eofConns   int
-	totalConn  int
-	started    bool
-	dists      map[string]distInfo // latest writer distribution per var
-	plugins    []pluginEntry
+	// Connection accounting is epoch-scoped: a retiring epoch's pumps
+	// must not feed End-of-Stream detection for the current one.
+	dataEpoch uint64
+	connCnt   map[uint64]int
+	eofCnt    map[uint64]int
+	dataConns []epochConn
+	dists     map[string]distInfo // latest writer distribution per var
+	plugins   []pluginEntry
+	// deployed tracks plug-ins shipped into the writers' address space so
+	// a reconfiguration can re-ship them to the new peer set.
+	deployed   []dcplugin.Plugin
 	pluginAcks map[string]chan error
 	nextAnon   int
 
+	// Reconfiguration state: the pending ack channel, the in-progress
+	// flag, and steps the writer flushed under the old regime that the
+	// new ranks replay from buffered pieces.
+	reconfiguring bool
+	reconfigAck   chan reconfigAckMsg
+	replay        map[int64]*replayStep
+
 	// Unpack plan cache and assembly-buffer pool: selections are fixed
-	// once reading starts, so the scatter geometry of each arriving piece
-	// region is computed once and replayed every step; assembly buffers
-	// are recycled through asmPool when the application returns them via
+	// per epoch, so the scatter geometry of each arriving piece region is
+	// computed once and replayed every step; assembly buffers are
+	// recycled through asmPool when the application returns them via
 	// ReleaseArray.
 	upPlans map[upKey][]upEntry
 	asmPool *shm.BufferPool
@@ -59,6 +76,13 @@ type ReaderGroup struct {
 	writerReport     *monitor.Report
 	writerReportStep int64
 	closeOnce        sync.Once
+}
+
+// epochConn tags an accepted data connection with its session epoch so a
+// reconfiguration can retire exactly the old epoch's connections.
+type epochConn struct {
+	epoch uint64
+	conn  evpath.Conn
 }
 
 type pluginEntry struct {
@@ -82,6 +106,16 @@ type readerStep struct {
 	doneWriters map[int]map[int]bool       // reader -> set of writers done
 }
 
+// replayStep is a step the writer flushed to the old rank layout during
+// a reconfiguration: the union of every old rank's pieces, re-sliced for
+// the new selections at read time. left counts new ranks yet to consume.
+type replayStep struct {
+	arrays  map[string][]piece
+	scalars map[string]piece
+	pgs     map[string]map[int][]byte // var -> writer rank -> payload
+	left    int
+}
+
 type piece struct {
 	writer   int
 	kind     VarKind
@@ -97,6 +131,7 @@ type Reader struct {
 	curStep  int64
 	nextStep int64
 	inStep   bool
+	inReplay bool
 	entered  bool
 }
 
@@ -117,29 +152,36 @@ func NewReaderGroup(net *evpath.Net, dir directory.Directory, stream string, nRe
 		net:       net,
 		dir:       dir,
 		mon:       mon,
+		sess:      newSession("reader", mon),
 		arraySel:  make(map[string][]ndarray.Box),
 		pgSel:     make([][]int64, nReaders),
 		steps:     make(map[int64]*readerStep),
 		writerCnt: make(map[int]int),
+		dataEpoch: 1,
+		connCnt:   make(map[uint64]int),
+		eofCnt:    make(map[uint64]int),
 		dists:     make(map[string]distInfo),
+		replay:    make(map[int64]*replayStep),
 		upPlans:   make(map[upKey][]upEntry),
 		asmPool:   shm.NewBufferPool(0),
 	}
 	g.cond = sync.NewCond(&g.mu)
-	// Per-rank data listeners must exist before the writers dial.
+	// Per-rank data listeners must exist before the writers dial. Names
+	// are epoch-qualified; the first configuration is epoch 1.
 	for r := 0; r < nReaders; r++ {
-		l, err := net.Listen(fmt.Sprintf("%s.r%d", stream, r))
+		l, err := net.Listen(dataContact(stream, 1, r))
 		if err != nil {
 			return nil, err
 		}
 		g.listeners = append(g.listeners, l)
-		go g.acceptLoop(r, l)
+		go g.acceptLoop(1, r, l)
 	}
 	conn, err := net.Dial(contact, evpath.ChanTransport, 0, 0)
 	if err != nil {
 		return nil, err
 	}
 	g.coordConn = conn
+	g.sess.tryTransition(StateHandshaking) //nolint:errcheck
 	go g.coordPump()
 	g.readers = make([]*Reader, nReaders)
 	for i := range g.readers {
@@ -148,8 +190,13 @@ func NewReaderGroup(net *evpath.Net, dir directory.Directory, stream string, nRe
 	return g, nil
 }
 
-// Reader returns rank r's handle.
-func (g *ReaderGroup) Reader(r int) *Reader { return g.readers[r] }
+// Reader returns rank r's handle. After a Reconfigure the group has new
+// handles; fetch them again.
+func (g *ReaderGroup) Reader(r int) *Reader {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.readers[r]
+}
 
 // InstallPlugin adds a data-conditioning filter applied (in order) to
 // every arriving data event on the reader side (plug-in execution in the
@@ -171,67 +218,26 @@ func (g *ReaderGroup) InstallNamedPlugin(name string, fn evpath.FilterFunc) {
 	g.mu.Unlock()
 }
 
-func (g *ReaderGroup) coordPump() {
-	for {
-		buf, err := g.coordConn.Recv()
-		if err != nil {
-			return
-		}
-		ev, err := evpath.DecodeEvent(buf)
-		if err != nil {
-			continue
-		}
-		switch kind, _ := ev.Meta.GetString("kind"); kind {
-		case msgWriterDist:
-			g.handleWriterDist(ev)
-		case msgPluginAck:
-			g.handlePluginAck(ev)
-		case msgMonitorReport:
-			g.handleMonitorReport(ev)
-		}
-	}
-}
-
-func (g *ReaderGroup) handleWriterDist(ev *evpath.Event) {
-	name, _ := ev.Meta.GetString("var")
-	nd, _ := ev.Meta.GetInt("ndims")
-	nw, _ := ev.Meta.GetInt("nwriters")
-	es, _ := ev.Meta.GetInt("elemsize")
-	step, _ := ev.Meta.GetInt("step")
-	flat, _ := ev.Meta.GetInts("boxes")
-	boxes, err := decodeBoxes(flat, int(nd), int(nw))
-	if err != nil {
-		return
-	}
-	g.mu.Lock()
-	g.dists[name] = distInfo{step: step, ndims: int(nd), elemSize: int(es), boxes: boxes}
-	g.nWriters = int(nw)
-	g.cond.Broadcast()
-	g.mu.Unlock()
-	if g.mon != nil {
-		g.mon.Incr("handshake.writer-dist.recv", 1)
-	}
-}
-
-func (g *ReaderGroup) acceptLoop(r int, l *evpath.Listener) {
+func (g *ReaderGroup) acceptLoop(epoch uint64, r int, l *evpath.Listener) {
 	for {
 		conn, ok := l.Accept()
 		if !ok {
 			return
 		}
 		g.mu.Lock()
-		g.totalConn++
+		g.connCnt[epoch]++
+		g.dataConns = append(g.dataConns, epochConn{epoch: epoch, conn: conn})
 		g.mu.Unlock()
-		go g.dataPump(r, conn)
+		go g.dataPump(epoch, r, conn)
 	}
 }
 
-func (g *ReaderGroup) dataPump(r int, conn evpath.Conn) {
+func (g *ReaderGroup) dataPump(epoch uint64, r int, conn evpath.Conn) {
 	for {
 		buf, err := conn.Recv()
 		if err != nil {
 			g.mu.Lock()
-			g.eofConns++
+			g.eofCnt[epoch]++
 			g.cond.Broadcast()
 			g.mu.Unlock()
 			return
@@ -352,14 +358,50 @@ func (g *ReaderGroup) step(step int64) *readerStep {
 	return st
 }
 
+// snapshotReplay captures one old-regime step for replay: the union of
+// the old ranks' buffered pieces, to be re-sliced under the new
+// selections. Caller holds g.mu.
+func snapshotReplay(st *readerStep, oldN, newN int) *replayStep {
+	rs := &replayStep{
+		arrays:  make(map[string][]piece),
+		scalars: make(map[string]piece),
+		pgs:     make(map[string]map[int][]byte),
+		left:    newN,
+	}
+	if st == nil {
+		return rs
+	}
+	for r := 0; r < oldN; r++ {
+		for name, pieces := range st.perReader[r] {
+			for _, p := range pieces {
+				switch p.kind {
+				case GlobalArrayVar:
+					rs.arrays[name] = append(rs.arrays[name], p)
+				case ScalarVar:
+					if _, have := rs.scalars[name]; !have {
+						rs.scalars[name] = p
+					}
+				case ProcessGroupVar:
+					if rs.pgs[name] == nil {
+						rs.pgs[name] = make(map[int][]byte)
+					}
+					rs.pgs[name][p.writer] = p.data
+				}
+			}
+		}
+	}
+	return rs
+}
+
 // SelectArray declares that this reader wants the given region of a
-// global array. Must be called before the rank's first BeginStep.
+// global array. Must be called before the rank's first BeginStep. To
+// change selections later, use ReaderGroup.Reconfigure.
 func (r *Reader) SelectArray(name string, box ndarray.Box) error {
 	g := r.g
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if g.selSent {
-		return fmt.Errorf("core: selections are fixed once reading starts")
+		return fmt.Errorf("core: selections are fixed once reading starts (use Reconfigure)")
 	}
 	sel, ok := g.arraySel[name]
 	if !ok {
@@ -377,7 +419,7 @@ func (r *Reader) SelectProcessGroups(writers []int) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if g.selSent {
-		return fmt.Errorf("core: selections are fixed once reading starts")
+		return fmt.Errorf("core: selections are fixed once reading starts (use Reconfigure)")
 	}
 	ws := make([]int64, len(writers))
 	for i, w := range writers {
@@ -387,128 +429,10 @@ func (r *Reader) SelectProcessGroups(writers []int) error {
 	return nil
 }
 
-// sendSelections transmits the reader-side distribution to the writer
-// coordinator (handshake Step 2, reader's half). Runs once, triggered by
-// the first BeginStep after all ranks entered.
-func (g *ReaderGroup) sendSelections() error {
-	meta := evpath.Record{
-		"kind":     msgReaderDist,
-		"nreaders": int64(g.NReaders),
-	}
-	// Array selections: one field pair per variable.
-	names := make([]string, 0, len(g.arraySel))
-	for name := range g.arraySel {
-		names = append(names, name)
-	}
-	var nameList string
-	for i, name := range names {
-		if i > 0 {
-			nameList += "\x00"
-		}
-		nameList += name
-		boxes := g.arraySel[name]
-		nd := 0
-		for _, b := range boxes {
-			if b.NDims() > 0 {
-				nd = b.NDims()
-			}
-		}
-		// Normalize empty boxes to rank-nd empties.
-		norm := make([]ndarray.Box, len(boxes))
-		for i, b := range boxes {
-			if b.NDims() != nd {
-				norm[i] = ndarray.Box{Lo: make([]int64, nd), Hi: make([]int64, nd)}
-			} else {
-				norm[i] = b
-			}
-		}
-		meta["sel."+name+".ndims"] = int64(nd)
-		meta["sel."+name+".boxes"] = encodeBoxes(norm, nd)
-	}
-	meta["selvars"] = nameList
-	// PG claims: flattened (reader, count, writers...) list.
-	var pg []int64
-	for r, ws := range g.pgSel {
-		if len(ws) == 0 {
-			continue
-		}
-		pg = append(pg, int64(r), int64(len(ws)))
-		pg = append(pg, ws...)
-	}
-	meta["pgsel"] = pg
-	buf, err := evpath.EncodeEvent(&evpath.Event{Meta: meta})
-	if err != nil {
-		return err
-	}
-	if err := g.coordConn.Send(buf); err != nil {
-		return err
-	}
-	if g.mon != nil {
-		g.mon.Incr("handshake.reader-dist.sent", 1)
-	}
-	return nil
-}
-
-// decodeReaderSelections parses the reader coordinator's message on the
-// writer side.
-func decodeReaderSelections(ev *evpath.Event) (readerSelections, error) {
-	sel := readerSelections{
-		arrays:   make(map[string][]ndarray.Box),
-		pgClaims: make(map[int][]int),
-	}
-	n, _ := ev.Meta.GetInt("nreaders")
-	sel.nReaders = int(n)
-	if sel.nReaders <= 0 {
-		return sel, fmt.Errorf("core: reader-dist without nreaders")
-	}
-	if names, ok := ev.Meta.GetString("selvars"); ok && names != "" {
-		for _, name := range splitNames(names) {
-			nd, _ := ev.Meta.GetInt("sel." + name + ".ndims")
-			flat, _ := ev.Meta.GetInts("sel." + name + ".boxes")
-			if nd == 0 {
-				continue
-			}
-			boxes, err := decodeBoxes(flat, int(nd), sel.nReaders)
-			if err != nil {
-				return sel, err
-			}
-			sel.arrays[name] = boxes
-		}
-	}
-	if pg, ok := ev.Meta.GetInts("pgsel"); ok {
-		for i := 0; i < len(pg); {
-			if i+2 > len(pg) {
-				break
-			}
-			r := int(pg[i])
-			cnt := int(pg[i+1])
-			i += 2
-			for j := 0; j < cnt && i < len(pg); j++ {
-				w := int(pg[i])
-				i++
-				sel.pgClaims[w] = append(sel.pgClaims[w], r)
-			}
-		}
-	}
-	return sel, nil
-}
-
-func splitNames(s string) []string {
-	var out []string
-	start := 0
-	for i := 0; i <= len(s); i++ {
-		if i == len(s) || s[i] == '\x00' {
-			if i > start {
-				out = append(out, s[start:i])
-			}
-			start = i + 1
-		}
-	}
-	return out
-}
-
 // BeginStep blocks until the next timestep is fully delivered to this
 // rank, returning its step index. ok=false signals End-of-Stream.
+// Replayed steps (flushed under the old regime during a reconfiguration)
+// are served before live ones, preserving step order exactly.
 func (r *Reader) BeginStep() (step int64, ok bool) {
 	g := r.g
 	g.mu.Lock()
@@ -535,15 +459,23 @@ func (r *Reader) BeginStep() (step int64, ok bool) {
 	defer g.mu.Unlock()
 	want := r.nextStep
 	for {
+		if _, isReplay := g.replay[want]; isReplay {
+			r.curStep = want
+			r.inStep = true
+			r.inReplay = true
+			r.nextStep = want + 1
+			return want, true
+		}
 		if st, okS := g.steps[want]; okS && g.nWriters > 0 && len(st.doneWriters[r.Rank]) == g.nWriters {
 			r.curStep = want
 			r.inStep = true
 			r.nextStep = want + 1
 			return want, true
 		}
-		// EOS: every data connection for this rank saw EOF and the step
-		// never completed.
-		if g.totalConn > 0 && g.eofConns >= g.totalConn {
+		// EOS: every data connection of the current epoch for this rank
+		// saw EOF and the step never completed.
+		cur := g.dataEpoch
+		if g.connCnt[cur] > 0 && g.eofCnt[cur] >= g.connCnt[cur] {
 			if st, okS := g.steps[want]; okS && g.nWriters > 0 && len(st.doneWriters[r.Rank]) == g.nWriters {
 				continue
 			}
@@ -576,6 +508,9 @@ func (r *Reader) ReadArray(name string) ([]byte, ndarray.Box, error) {
 		return nil, ndarray.Box{}, fmt.Errorf("core: reader %d did not select %q", r.Rank, name)
 	}
 	box := sel[r.Rank]
+	if r.inReplay {
+		return r.readReplayArray(name, box)
+	}
 	st := g.steps[r.curStep]
 	var ps []piece
 	if st != nil && st.perReader[r.Rank] != nil {
@@ -629,6 +564,45 @@ func (r *Reader) ReadArray(name string) ([]byte, ndarray.Box, error) {
 	return out, box, nil
 }
 
+// readReplayArray assembles a replayed step's selection directly from
+// the buffered old-regime pieces: each piece's overlap with the new
+// selection box is copied box-to-box (no intermediate packed form).
+// Caller holds g.mu.
+func (r *Reader) readReplayArray(name string, box ndarray.Box) ([]byte, ndarray.Box, error) {
+	g := r.g
+	rs := g.replay[r.curStep]
+	if rs == nil {
+		return nil, box, fmt.Errorf("core: replay state missing for step %d", r.curStep)
+	}
+	ps := rs.arrays[name]
+	var elemSize int
+	for _, p := range ps {
+		elemSize = p.elemSize
+	}
+	if elemSize == 0 {
+		return nil, box, fmt.Errorf("core: no replay data for %q at step %d", name, r.curStep)
+	}
+	need := box.NumElements() * int64(elemSize)
+	out, err := g.asmPool.Get(int(need))
+	if err != nil {
+		return nil, box, err
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	for _, p := range ps {
+		ov, has := p.box.Intersect(box)
+		if !has {
+			continue
+		}
+		if err := ndarray.CopyRegion(out, p.data, box, p.box, ov, elemSize); err != nil {
+			g.asmPool.Put(out)
+			return nil, box, err
+		}
+	}
+	return out, box, nil
+}
+
 // ReleaseArray returns a buffer obtained from ReadArray to the assembly
 // pool for reuse by a later step. The caller must not touch the buffer
 // afterwards. Passing any other slice is a misuse that at worst parks
@@ -647,6 +621,14 @@ func (r *Reader) ReadScalar(name string) ([]byte, error) {
 	defer g.mu.Unlock()
 	if !r.inStep {
 		return nil, fmt.Errorf("core: ReadScalar outside BeginStep/EndStep")
+	}
+	if r.inReplay {
+		if rs := g.replay[r.curStep]; rs != nil {
+			if p, ok := rs.scalars[name]; ok {
+				return p.data, nil
+			}
+		}
+		return nil, fmt.Errorf("core: no scalar %q at step %d", name, r.curStep)
 	}
 	st := g.steps[r.curStep]
 	if st == nil || st.perReader[r.Rank] == nil {
@@ -670,6 +652,18 @@ func (r *Reader) ReadProcessGroups(name string) (map[int][]byte, error) {
 		return nil, fmt.Errorf("core: ReadProcessGroups outside BeginStep/EndStep")
 	}
 	out := make(map[int][]byte)
+	if r.inReplay {
+		rs := g.replay[r.curStep]
+		if rs == nil {
+			return out, nil
+		}
+		for _, w := range g.pgSel[r.Rank] {
+			if data, ok := rs.pgs[name][int(w)]; ok {
+				out[int(w)] = data
+			}
+		}
+		return out, nil
+	}
 	st := g.steps[r.curStep]
 	if st == nil || st.perReader[r.Rank] == nil {
 		return out, nil
@@ -706,6 +700,16 @@ func (r *Reader) EndStep() error {
 		return fmt.Errorf("core: EndStep outside a step")
 	}
 	r.inStep = false
+	if r.inReplay {
+		r.inReplay = false
+		if rs := g.replay[r.curStep]; rs != nil {
+			rs.left--
+			if rs.left <= 0 {
+				delete(g.replay, r.curStep)
+			}
+		}
+		return nil
+	}
 	st := g.steps[r.curStep]
 	if st != nil {
 		delete(st.perReader, r.Rank)
@@ -733,15 +737,36 @@ func (r *Reader) EndStep() error {
 	return nil
 }
 
-// Close hangs up the reader side.
+// Close hangs up the reader side: a session-closed notice travels to the
+// writer over the coordinator connection (so the writer can tear its
+// data plane down instead of leaving connections and goroutines
+// dangling), then every local connection and listener is closed.
 func (g *ReaderGroup) Close() error {
 	g.closeOnce.Do(func() {
+		g.sess.tryTransition(StateDraining) //nolint:errcheck
+		if g.coordConn != nil {
+			if buf, err := evpath.EncodeEvent(&evpath.Event{
+				Meta: evpath.Record{"kind": msgSessionClosed},
+			}); err == nil {
+				g.coordConn.Send(buf) //nolint:errcheck // Recv-failure path covers a lost notice
+			}
+		}
 		for _, l := range g.listeners {
 			l.Close()
+		}
+		g.mu.Lock()
+		conns := make([]evpath.Conn, 0, len(g.dataConns))
+		for _, ec := range g.dataConns {
+			conns = append(conns, ec.conn)
+		}
+		g.mu.Unlock()
+		for _, c := range conns {
+			c.Close()
 		}
 		if g.coordConn != nil {
 			g.coordConn.Close()
 		}
+		g.sess.tryTransition(StateClosed) //nolint:errcheck
 	})
 	return nil
 }

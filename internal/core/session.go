@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"flexio/internal/monitor"
+)
+
+// Session layer: each side of a coupled stream (writer group, reader
+// group) is modeled as a small state machine whose transitions are driven
+// by the control plane (coordinator connections) while the data plane
+// (per-pair data connections) moves bytes. The session's *epoch* versions
+// everything placement-dependent — reader selections, data connections,
+// transport choices, redistribution plan caches — so a mid-run
+// re-placement is a single epoch bump that atomically invalidates all of
+// them. The epoch generalizes the former per-selection `selGen` counter.
+//
+//	Connecting → Handshaking → Streaming ⇄ Reconfiguring
+//	                               ↓
+//	                           Draining → Closed
+//
+// A reconfiguration returns through Handshaking (distributions are
+// re-exchanged at the configured caching level) before streaming resumes.
+
+// SessionState names one stage of a stream endpoint's lifecycle.
+type SessionState int32
+
+const (
+	// StateConnecting covers directory registration/lookup and the
+	// coordinator connection setup.
+	StateConnecting SessionState = iota
+	// StateHandshaking covers the four-step distribution exchange.
+	StateHandshaking
+	// StateStreaming is the steady state: timesteps flow.
+	StateStreaming
+	// StateReconfiguring is a mid-run re-placement in progress: the data
+	// plane quiesces at a step boundary while the control plane rewires.
+	StateReconfiguring
+	// StateDraining is an orderly shutdown: in-flight steps finish, no new
+	// steps are accepted.
+	StateDraining
+	// StateClosed is terminal.
+	StateClosed
+)
+
+func (s SessionState) String() string {
+	switch s {
+	case StateConnecting:
+		return "connecting"
+	case StateHandshaking:
+		return "handshaking"
+	case StateStreaming:
+		return "streaming"
+	case StateReconfiguring:
+		return "reconfiguring"
+	case StateDraining:
+		return "draining"
+	case StateClosed:
+		return "closed"
+	}
+	return fmt.Sprintf("SessionState(%d)", int32(s))
+}
+
+// legalTransitions lists the session state machine's edges. Closing is
+// reachable from everywhere (a peer can vanish at any stage).
+var legalTransitions = map[SessionState][]SessionState{
+	StateConnecting:    {StateHandshaking, StateDraining, StateClosed},
+	StateHandshaking:   {StateStreaming, StateDraining, StateClosed},
+	StateStreaming:     {StateReconfiguring, StateDraining, StateClosed},
+	StateReconfiguring: {StateHandshaking, StateStreaming, StateDraining, StateClosed},
+	StateDraining:      {StateClosed},
+	StateClosed:        nil,
+}
+
+// session is the shared control-plane state of one stream endpoint. The
+// zero value is not usable; call newSession.
+type session struct {
+	side string // "writer" or "reader", for diagnostics
+
+	mu    sync.Mutex
+	state SessionState
+	epoch uint64
+	mon   *monitor.Monitor
+}
+
+// newSession starts a session in Connecting at epoch 1. mon may be nil.
+func newSession(side string, mon *monitor.Monitor) *session {
+	s := &session{side: side, state: StateConnecting, epoch: 1, mon: mon}
+	if mon != nil {
+		mon.Set("session.epoch", 1)
+	}
+	return s
+}
+
+// State reports the current state.
+func (s *session) State() SessionState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// Epoch reports the current session epoch. Epoch 1 is the stream's
+// initial configuration; every reconfiguration bumps it.
+func (s *session) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// transition moves the session to `to`, enforcing the state machine's
+// edges. Self-transitions are no-ops. The transition is recorded on the
+// monitor as `session.state.<name>`.
+func (s *session) transition(to SessionState) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state == to {
+		return nil
+	}
+	ok := false
+	for _, t := range legalTransitions[s.state] {
+		if t == to {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return fmt.Errorf("core: %s session: illegal transition %v -> %v", s.side, s.state, to)
+	}
+	s.state = to
+	if s.mon != nil {
+		s.mon.Incr("session.state."+to.String(), 1)
+	}
+	return nil
+}
+
+// tryTransition is transition for callers racing shutdown: an illegal
+// edge (the session already moved on, e.g. to Draining while a flush was
+// finishing) is reported but deliberately not fatal.
+func (s *session) tryTransition(to SessionState) error {
+	err := s.transition(to)
+	if err != nil && s.mon != nil {
+		s.mon.Incr("session.transition.rejected", 1)
+	}
+	return err
+}
+
+// bumpEpoch advances the session epoch (one reconfiguration) and returns
+// the new value. The monitor gauge `session.epoch` tracks it.
+func (s *session) bumpEpoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.epoch++
+	if s.mon != nil {
+		s.mon.Set("session.epoch", int64(s.epoch))
+	}
+	return s.epoch
+}
+
+// dataContact names the data connection listener for reader rank r of the
+// given epoch. Epoch-qualified names guarantee that a reconfiguration's
+// re-dialed connections can never be confused with a retiring epoch's.
+func dataContact(stream string, epoch uint64, r int) string {
+	return fmt.Sprintf("%s.e%d.r%d", stream, epoch, r)
+}

@@ -133,6 +133,11 @@ type Options struct {
 	// kind and the two node ids — this is where placement decisions
 	// materialize. Nil means ChanTransport for all pairs.
 	Transport func(w, r int) (evpath.TransportKind, int, int)
+	// WriterNode maps a writer rank to its node id. It is consulted when a
+	// Reconfigure carries new reader node placements: pairs on the same
+	// node get the shm transport, cross-node pairs get rdma. Nil keeps the
+	// chan transport for all re-placed pairs.
+	WriterNode func(w int) int
 	// WrapConn, if set, wraps every data connection after dialing (used
 	// for fault injection and instrumentation).
 	WrapConn func(evpath.Conn) evpath.Conn

@@ -13,11 +13,17 @@ import (
 	"flexio/internal/shm"
 )
 
+// ErrSessionClosed reports that the peer side hung up the session
+// mid-stream (an orderly session-closed notice or a dead coordinator
+// connection); further steps cannot be moved.
+var ErrSessionClosed = errors.New("core: session closed by peer")
+
 // WriterGroup is the writer-program side of a stream: M writer ranks plus
 // an elected coordinator (rank 0). In stream mode, "creating a file"
 // registers the stream name with the directory server; the analytics that
 // "opens the named file" is connected underneath by the transport
-// (Section II.B).
+// (Section II.B). The control-plane half (handshake, reconfiguration,
+// teardown) lives in controlplane.go; this file is the data plane.
 type WriterGroup struct {
 	Stream   string
 	NWriters int
@@ -25,6 +31,7 @@ type WriterGroup struct {
 	net      *evpath.Net
 	dir      directory.Directory
 	mon      *monitor.Monitor
+	sess     *session
 
 	writers []*Writer
 
@@ -36,9 +43,25 @@ type WriterGroup struct {
 	selReady bool
 	sel      readerSelections
 	selErr   error
+	// Reconfiguration and teardown state (guarded by selMu): a pending
+	// reconfig request parked by the control plane until the next step
+	// boundary, and the peer/self closed flags.
+	pendingReconfig *reconfigRequest
+	readerClosed    bool
+	closed          bool
 
 	nReaders int
-	conns    [][]evpath.Conn // [writer][reader], nil where never used
+	// curTransport maps pairs to transports for the *current* epoch. It
+	// starts as Options.Transport and is replaced when a reconfiguration
+	// ships a new node placement. Touched only on the flush goroutine.
+	curTransport func(w, r int) (evpath.TransportKind, int, int)
+
+	// connMu guards the connection tables' slice headers; the conns of
+	// the current epoch are in conns, earlier epochs' rows retire into
+	// retired until the reader (or Close) hangs them up.
+	connMu  sync.Mutex
+	conns   [][]evpath.Conn // [writer][reader], nil where never used
+	retired [][]evpath.Conn
 
 	plugins writerPlugins // codelets deployed from the reader side
 
@@ -52,12 +75,11 @@ type WriterGroup struct {
 	sentAnyDist bool
 
 	// Redistribution plan cache: precompiled pack schedules per
-	// (variable, writer rank), invalidated by selection generation or a
+	// (variable, writer rank), invalidated by the session epoch or a
 	// changed writer box. payloadPool recycles packed piece payloads and
 	// deposited variable copies across timesteps.
 	planMu      sync.Mutex
 	plans       map[varPlanKey]*varPlanEntry
-	selGen      uint64
 	payloadPool *shm.BufferPool
 
 	closeOnce sync.Once
@@ -90,9 +112,9 @@ type varData struct {
 // handshake (Step 2 from the peer's perspective).
 type readerSelections struct {
 	nReaders int
-	// gen is a monotonically increasing generation stamped on each
-	// selection message the coordinator receives; the plan cache keys its
-	// validity on it, so a re-selection invalidates every cached plan.
+	// gen is the session epoch the selections belong to; the plan cache
+	// keys its validity on it, so a re-selection or reconfiguration
+	// invalidates every cached plan.
 	gen uint64
 	// arrays[var][reader] is the reader's requested box (empty box = not
 	// selected by that reader).
@@ -115,12 +137,14 @@ func NewWriterGroup(net *evpath.Net, dir directory.Directory, stream string, nWr
 		net:         net,
 		dir:         dir,
 		mon:         mon,
+		sess:        newSession("writer", mon),
 		lastDist:    make(map[string]string),
 		open:        make(map[int64]*pendingStep),
 		plans:       make(map[varPlanKey]*varPlanEntry),
 		payloadPool: shm.NewBufferPool(opts.PoolMaxBytes),
 	}
 	g.selCond = sync.NewCond(&g.selMu)
+	g.curTransport = g.opts.Transport
 
 	contact := stream + ".coord"
 	l, err := net.Listen(contact)
@@ -150,112 +174,6 @@ func NewWriterGroup(net *evpath.Net, dir directory.Directory, stream string, nWr
 
 // Writer returns rank w's handle.
 func (g *WriterGroup) Writer(w int) *Writer { return g.writers[w] }
-
-func (g *WriterGroup) acceptCoordinator() {
-	conn, ok := g.coordListener.Accept()
-	if !ok {
-		g.failSelections(fmt.Errorf("core: stream %q closed before readers connected", g.Stream))
-		return
-	}
-	g.selMu.Lock()
-	g.coordConn = conn
-	g.selMu.Unlock()
-	// Pump reader-coordinator messages: selections now, and potentially
-	// re-selections later.
-	for {
-		buf, err := conn.Recv()
-		if err != nil {
-			return
-		}
-		ev, err := evpath.DecodeEvent(buf)
-		if err != nil {
-			g.failSelections(fmt.Errorf("core: bad coordinator message: %w", err))
-			return
-		}
-		kind, _ := ev.Meta.GetString("kind")
-		if kind == msgDeployPlugin || kind == msgRemovePlugin {
-			ack := g.handlePluginControl(ev)
-			if buf, err := evpath.EncodeEvent(ack); err == nil {
-				conn.Send(buf) //nolint:errcheck // reader times out if lost
-			}
-			continue
-		}
-		if kind != msgReaderDist {
-			continue
-		}
-		sel, err := decodeReaderSelections(ev)
-		if err != nil {
-			g.failSelections(err)
-			return
-		}
-		g.selMu.Lock()
-		g.selGen++
-		sel.gen = g.selGen
-		g.sel = sel
-		g.nReaders = sel.nReaders
-		g.selReady = true
-		g.selCond.Broadcast()
-		g.selMu.Unlock()
-		if g.mon != nil {
-			g.mon.Incr("handshake.reader-dist.recv", 1)
-		}
-	}
-}
-
-func (g *WriterGroup) failSelections(err error) {
-	g.selMu.Lock()
-	if !g.selReady {
-		g.selErr = err
-		g.selReady = true
-		g.selCond.Broadcast()
-	}
-	g.selMu.Unlock()
-}
-
-// waitSelections blocks until the reader side has declared its
-// distributions (the writer's view of handshake Step 2).
-func (g *WriterGroup) waitSelections() (readerSelections, error) {
-	g.selMu.Lock()
-	defer g.selMu.Unlock()
-	for !g.selReady {
-		g.selCond.Wait()
-	}
-	return g.sel, g.selErr
-}
-
-// ensureConns lazily dials the data connections writer w needs.
-func (g *WriterGroup) ensureConns() error {
-	if g.conns != nil {
-		return nil
-	}
-	g.conns = make([][]evpath.Conn, g.NWriters)
-	for w := 0; w < g.NWriters; w++ {
-		g.conns[w] = make([]evpath.Conn, g.nReaders)
-		for r := 0; r < g.nReaders; r++ {
-			kind, nodeW, nodeR := g.opts.Transport(w, r)
-			conn, err := g.net.Dial(fmt.Sprintf("%s.r%d", g.Stream, r), kind, nodeW, nodeR)
-			if err != nil {
-				return fmt.Errorf("core: dialing reader %d from writer %d: %w", r, w, err)
-			}
-			// Identify ourselves and the writer-group size so the reader
-			// can track step completion deterministically.
-			hello, err := evpath.EncodeEvent(&evpath.Event{
-				Meta: evpath.Record{"kind": "hello", "writer": int64(w), "nwriters": int64(g.NWriters)},
-			})
-			if err != nil {
-				return err
-			}
-			if g.opts.WrapConn != nil {
-				conn = g.opts.WrapConn(conn)
-			}
-			if err := g.sendWithRetry(conn, hello); err != nil {
-				return err
-			}
-			g.conns[w][r] = conn
-		}
-	}
-	return nil
-}
 
 // BeginStep starts timestep `step` for this rank. Each rank must write
 // steps in increasing order; ranks may be at most one step apart (the
@@ -392,13 +310,25 @@ func distFingerprint(metaByRank map[int][]varData, name string, nWriters int) st
 	return s
 }
 
-// flush performs the per-step protocol: (re-)handshake as the caching
-// level demands, then pack and send each writer's pieces (Step 4.s).
+// flush performs the per-step protocol: apply a parked reconfiguration
+// (this is the quiesce point — flushes are serialized, so any in-flight
+// step and the async queue up to here have drained), (re-)handshake as
+// the caching level demands, then pack and send each writer's pieces
+// (Step 4.s).
 func (g *WriterGroup) flush(ps *pendingStep) error {
 	var stopTimer func()
 	if g.mon != nil {
 		stopTimer = g.mon.Start("flush")
 		defer stopTimer()
+	}
+	g.selMu.Lock()
+	readerGone := g.readerClosed
+	g.selMu.Unlock()
+	if readerGone {
+		return ErrSessionClosed
+	}
+	if err := g.applyPendingReconfig(ps.step); err != nil {
+		return err
 	}
 	sel, err := g.waitSelections()
 	if err != nil {
@@ -483,51 +413,10 @@ func (g *WriterGroup) flush(ps *pendingStep) error {
 	// Online monitoring: gather this side's counters and ship them to
 	// the analytics side for runtime management (Section II.G).
 	g.shipMonitorReport(ps.step)
-	return nil
-}
-
-func (g *WriterGroup) sendWriterDist(ps *pendingStep, name string) error {
-	g.selMu.Lock()
-	coord := g.coordConn
-	g.selMu.Unlock()
-	if coord == nil {
-		return fmt.Errorf("core: no coordinator connection")
-	}
-	// Gather this var's boxes across ranks (empty box when a rank did not
-	// write it).
-	var nd int
-	var elemSize int64
-	boxes := make([]ndarray.Box, g.NWriters)
-	for w := 0; w < g.NWriters; w++ {
-		for _, v := range ps.vars[w] {
-			if v.meta.Name == name && v.meta.Kind == GlobalArrayVar {
-				boxes[w] = v.meta.Box
-				nd = len(v.meta.GlobalShape)
-				elemSize = int64(v.meta.ElemSize)
-			}
-		}
-	}
-	if nd == 0 {
-		return nil // scalar or PG var: no distribution to exchange
-	}
-	ev := &evpath.Event{Meta: evpath.Record{
-		"kind":     msgWriterDist,
-		"step":     ps.step,
-		"var":      name,
-		"ndims":    int64(nd),
-		"nwriters": int64(g.NWriters),
-		"elemsize": elemSize,
-		"boxes":    encodeBoxes(boxes, nd),
-	}}
-	buf, err := evpath.EncodeEvent(ev)
-	if err != nil {
-		return err
-	}
-	if err := coord.Send(buf); err != nil {
-		return err
-	}
-	if g.mon != nil {
-		g.mon.Incr("handshake.writer-dist.sent", 1)
+	// First successful flush completes the handshake stage; after a
+	// reconfiguration the session likewise returns through Handshaking.
+	if g.sess.State() == StateHandshaking {
+		g.sess.tryTransition(StateStreaming)
 	}
 	return nil
 }
@@ -733,7 +622,8 @@ func (g *WriterGroup) sendEvent(w, r int, ev *evpath.Event) error {
 // sendWithRetry implements the runtime's timeout-and-retry resiliency
 // scheme (Section II.H): transient transport faults are retried with a
 // short backoff up to Options.SendRetries times; permanent failures (and
-// exhausted budgets) surface to the caller.
+// exhausted budgets) surface to the caller. A failure caused by the peer
+// hanging up the session surfaces as ErrSessionClosed.
 func (g *WriterGroup) sendWithRetry(conn evpath.Conn, buf []byte) error {
 	var err error
 	for attempt := 0; ; attempt++ {
@@ -742,6 +632,12 @@ func (g *WriterGroup) sendWithRetry(conn evpath.Conn, buf []byte) error {
 			return nil
 		}
 		if !errors.Is(err, evpath.ErrTransient) || attempt >= g.opts.SendRetries {
+			g.selMu.Lock()
+			gone := g.readerClosed
+			g.selMu.Unlock()
+			if gone {
+				return fmt.Errorf("%w: %v", ErrSessionClosed, err)
+			}
 			return err
 		}
 		if g.mon != nil {
@@ -756,6 +652,10 @@ func (g *WriterGroup) sendWithRetry(conn evpath.Conn, buf []byte) error {
 func (g *WriterGroup) Close() error {
 	var err error
 	g.closeOnce.Do(func() {
+		g.selMu.Lock()
+		g.closed = true
+		g.selMu.Unlock()
+		g.sess.tryTransition(StateDraining)
 		if g.opts.Async {
 			close(g.asyncCh)
 			<-g.asyncDone
@@ -763,13 +663,7 @@ func (g *WriterGroup) Close() error {
 			err = g.asyncErr
 			g.asyncErrMu.Unlock()
 		}
-		for _, row := range g.conns {
-			for _, c := range row {
-				if c != nil {
-					c.Close()
-				}
-			}
-		}
+		g.closeDataConns()
 		g.selMu.Lock()
 		coord := g.coordConn
 		g.selMu.Unlock()
@@ -778,6 +672,7 @@ func (g *WriterGroup) Close() error {
 		}
 		g.coordListener.Close()
 		g.dir.Unregister(g.Stream) //nolint:errcheck
+		g.sess.tryTransition(StateClosed)
 	})
 	return err
 }

@@ -21,14 +21,22 @@ import (
 
 // Common errors.
 var (
-	ErrNotFound  = errors.New("directory: stream not found")
+	ErrNotFound = errors.New("directory: stream not found")
+	// ErrDuplicate is retained for callers that still test for it.
+	//
+	// Deprecated: Register performs atomic contact replacement and no
+	// longer returns this error; a re-registration (e.g. a session
+	// reconfiguring its contact after a placement switch) simply wins.
 	ErrDuplicate = errors.New("directory: stream already registered")
 	ErrTimeout   = errors.New("directory: lookup timed out")
 )
 
 // Directory is the discovery API.
 type Directory interface {
-	// Register binds a stream name to contact information.
+	// Register binds a stream name to contact information. Registering a
+	// name that is already bound atomically replaces the contact: lookups
+	// before the call see the old contact, lookups after see the new one,
+	// and no lookup ever observes the name as absent in between.
 	Register(stream, contact string) error
 	// Lookup resolves a stream name immediately.
 	Lookup(stream string) (string, error)
@@ -42,32 +50,31 @@ type Directory interface {
 
 // Mem is an in-process directory. The zero value is not usable; call
 // NewMem.
+//
+// WaitLookup blocks on a condition variable: Register broadcasts once per
+// binding change rather than feeding per-waiter channels, so an arbitrary
+// number of readers waiting on one stream wake with a single O(1)
+// notification.
 type Mem struct {
 	mu      sync.Mutex
+	cond    *sync.Cond
 	entries map[string]string
-	waiters map[string][]chan string
 }
 
 // NewMem creates an empty in-process directory.
 func NewMem() *Mem {
-	return &Mem{
-		entries: make(map[string]string),
-		waiters: make(map[string][]chan string),
-	}
+	d := &Mem{entries: make(map[string]string)}
+	d.cond = sync.NewCond(&d.mu)
+	return d
 }
 
-// Register binds stream to contact and wakes pending WaitLookups.
+// Register binds stream to contact and wakes pending WaitLookups. A
+// stream that is already bound has its contact atomically replaced.
 func (d *Mem) Register(stream, contact string) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if _, dup := d.entries[stream]; dup {
-		return fmt.Errorf("%w: %q", ErrDuplicate, stream)
-	}
 	d.entries[stream] = contact
-	for _, w := range d.waiters[stream] {
-		w <- contact
-	}
-	delete(d.waiters, stream)
+	d.cond.Broadcast()
 	return nil
 }
 
@@ -84,35 +91,27 @@ func (d *Mem) Lookup(stream string) (string, error) {
 
 // WaitLookup resolves stream, blocking up to timeout for registration.
 func (d *Mem) WaitLookup(stream string, timeout time.Duration) (string, error) {
-	d.mu.Lock()
-	if c, ok := d.entries[stream]; ok {
-		d.mu.Unlock()
-		return c, nil
-	}
-	ch := make(chan string, 1)
-	d.waiters[stream] = append(d.waiters[stream], ch)
-	d.mu.Unlock()
-
-	select {
-	case c := <-ch:
-		return c, nil
-	case <-time.After(timeout):
-		// Remove our waiter; tolerate a registration racing the timeout.
+	deadline := time.Now().Add(timeout)
+	// sync.Cond has no timed wait; a timer broadcast bounds the sleep.
+	expired := false
+	timer := time.AfterFunc(timeout, func() {
 		d.mu.Lock()
-		ws := d.waiters[stream]
-		for i, w := range ws {
-			if w == ch {
-				d.waiters[stream] = append(ws[:i], ws[i+1:]...)
-				break
-			}
-		}
+		expired = true
 		d.mu.Unlock()
-		select {
-		case c := <-ch:
+		d.cond.Broadcast()
+	})
+	defer timer.Stop()
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		if c, ok := d.entries[stream]; ok {
 			return c, nil
-		default:
+		}
+		if expired || !time.Now().Before(deadline) {
 			return "", fmt.Errorf("%w: %q after %v", ErrTimeout, stream, timeout)
 		}
+		d.cond.Wait()
 	}
 }
 

@@ -21,11 +21,39 @@ func TestMemRegisterLookup(t *testing.T) {
 	}
 }
 
-func TestMemDuplicate(t *testing.T) {
+func TestMemReRegisterReplaces(t *testing.T) {
 	d := NewMem()
 	d.Register("s", "a")
-	if err := d.Register("s", "b"); !errors.Is(err, ErrDuplicate) {
-		t.Fatalf("err = %v, want ErrDuplicate", err)
+	if err := d.Register("s", "b"); err != nil {
+		t.Fatalf("re-register must replace, got %v", err)
+	}
+	c, err := d.Lookup("s")
+	if err != nil || c != "b" {
+		t.Fatalf("Lookup = %q, %v; want replaced contact", c, err)
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d after replacement", d.Len())
+	}
+}
+
+func TestMemReRegisterWakesWaiters(t *testing.T) {
+	// A reconfiguring session re-registers its contact; waiters racing the
+	// replacement must resolve to *some* valid binding, never block.
+	d := NewMem()
+	d.Register("s", "old")
+	done := make(chan string, 1)
+	go func() {
+		c, err := d.WaitLookup("s", 5*time.Second)
+		if err != nil {
+			done <- "ERR:" + err.Error()
+			return
+		}
+		done <- c
+	}()
+	d.Register("s", "new")
+	got := <-done
+	if got != "old" && got != "new" {
+		t.Fatalf("WaitLookup = %q", got)
 	}
 }
 
@@ -137,8 +165,11 @@ func TestTCPServerRoundTrip(t *testing.T) {
 	if err != nil || c != "coord:7" {
 		t.Fatalf("Lookup = %q, %v", c, err)
 	}
-	if err := cl.Register("s3d.species", "other"); !errors.Is(err, ErrDuplicate) {
-		t.Fatalf("dup err = %v", err)
+	if err := cl.Register("s3d.species", "other"); err != nil {
+		t.Fatalf("re-register over TCP must replace, got %v", err)
+	}
+	if c, err := cl.Lookup("s3d.species"); err != nil || c != "other" {
+		t.Fatalf("Lookup after replacement = %q, %v", c, err)
 	}
 	if _, err := cl.Lookup("nope"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("missing err = %v", err)

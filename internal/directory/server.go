@@ -16,7 +16,10 @@ import (
 //	WAIT <stream> <millis>   -> OK <contact> | ERR <reason>
 //	DEL <stream>             -> OK
 //
-// Stream names and contacts must not contain whitespace.
+// REG on an already-bound stream atomically replaces the contact (OK),
+// matching Mem semantics — re-registration is how a reconfiguring session
+// publishes its new contact. Stream names and contacts must not contain
+// whitespace.
 
 // Server serves a Directory over TCP.
 type Server struct {

@@ -183,7 +183,7 @@ func TestFprintRenders(t *testing.T) {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"claims", "fig4", "fig6a", "fig6b", "fig7", "fig8", "fig9a", "fig9b", "s3dtune"}
+	want := []string{"claims", "fig4", "fig6a", "fig6b", "fig7", "fig8", "fig9a", "fig9b", "reconfig", "s3dtune"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("ids = %v", got)
@@ -191,6 +191,26 @@ func TestRegistryComplete(t *testing.T) {
 	for i := range want {
 		if got[i] != want[i] {
 			t.Fatalf("ids = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestReconfigBenchRuns(t *testing.T) {
+	fig, err := ReconfigBench("") // no artifact in tests
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d, want drain + wall", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Y) != 4 {
+			t.Fatalf("%s: %d points, want 4 scenarios", s.Label, len(s.Y))
+		}
+		for i, y := range s.Y {
+			if y <= 0 {
+				t.Errorf("%s scenario %d: %g us, want > 0", s.Label, i, y)
+			}
 		}
 	}
 }

@@ -40,6 +40,7 @@ type Monitor struct {
 	timings map[string]*TimingStat
 	volumes map[string]int64
 	counts  map[string]int64
+	gauges  map[string]int64
 	memCur  int64
 	memPeak int64
 }
@@ -51,6 +52,7 @@ func New(name string) *Monitor {
 		timings: make(map[string]*TimingStat),
 		volumes: make(map[string]int64),
 		counts:  make(map[string]int64),
+		gauges:  make(map[string]int64),
 	}
 }
 
@@ -96,6 +98,22 @@ func (m *Monitor) Incr(point string, n int64) {
 	m.mu.Unlock()
 }
 
+// Set records the current value of a gauge — a point-in-time level such
+// as `session.epoch` or a queue depth, as opposed to the monotonic
+// accumulation of Incr.
+func (m *Monitor) Set(point string, v int64) {
+	m.mu.Lock()
+	m.gauges[point] = v
+	m.mu.Unlock()
+}
+
+// Gauge reads back a gauge value (0 if never set).
+func (m *Monitor) Gauge(point string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.gauges[point]
+}
+
 // RecordAlloc tracks dynamic memory allocated inside FlexIO's data path
 // ("dynamic memory allocation points within FlexIO are also instrumented").
 func (m *Monitor) RecordAlloc(bytes int64) {
@@ -120,6 +138,7 @@ type Report struct {
 	Timings map[string]TimingStat
 	Volumes map[string]int64
 	Counts  map[string]int64
+	Gauges  map[string]int64
 	MemCur  int64
 	MemPeak int64
 }
@@ -133,6 +152,7 @@ func (m *Monitor) Snapshot() Report {
 		Timings: make(map[string]TimingStat, len(m.timings)),
 		Volumes: make(map[string]int64, len(m.volumes)),
 		Counts:  make(map[string]int64, len(m.counts)),
+		Gauges:  make(map[string]int64, len(m.gauges)),
 		MemCur:  m.memCur,
 		MemPeak: m.memPeak,
 	}
@@ -144,6 +164,9 @@ func (m *Monitor) Snapshot() Report {
 	}
 	for k, v := range m.counts {
 		r.Counts[k] = v
+	}
+	for k, v := range m.gauges {
+		r.Gauges[k] = v
 	}
 	return r
 }
@@ -157,6 +180,7 @@ func Merge(name string, reports ...Report) Report {
 		Timings: make(map[string]TimingStat),
 		Volumes: make(map[string]int64),
 		Counts:  make(map[string]int64),
+		Gauges:  make(map[string]int64),
 	}
 	for _, r := range reports {
 		for k, v := range r.Timings {
@@ -180,6 +204,14 @@ func Merge(name string, reports ...Report) Report {
 		}
 		for k, v := range r.Counts {
 			out.Counts[k] += v
+		}
+		// Gauges are levels, not flows: a merged gauge takes the max across
+		// ranks (e.g. session.epoch is identical on every rank in a healthy
+		// session, and max surfaces a rank that raced ahead).
+		for k, v := range r.Gauges {
+			if cur, ok := out.Gauges[k]; !ok || v > cur {
+				out.Gauges[k] = v
+			}
 		}
 		out.MemCur += r.MemCur
 		if r.MemPeak > out.MemPeak {
@@ -224,6 +256,16 @@ func (r Report) WriteTrace(w io.Writer) error {
 	sort.Strings(keys)
 	for _, k := range keys {
 		if _, err := fmt.Fprintf(w, "count  %-32s n=%d\n", k, r.Counts[k]); err != nil {
+			return err
+		}
+	}
+	keys = keys[:0]
+	for k := range r.Gauges {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "gauge  %-32s v=%d\n", k, r.Gauges[k]); err != nil {
 			return err
 		}
 	}

@@ -44,6 +44,39 @@ func TestVolumesAndCounts(t *testing.T) {
 	}
 }
 
+func TestGauges(t *testing.T) {
+	m := New("r")
+	if m.Gauge("session.epoch") != 0 {
+		t.Fatal("unset gauge must read 0")
+	}
+	m.Set("session.epoch", 1)
+	m.Set("session.epoch", 3)
+	if m.Gauge("session.epoch") != 3 {
+		t.Fatalf("gauge = %d, want 3 (last write wins)", m.Gauge("session.epoch"))
+	}
+	r := m.Snapshot()
+	if r.Gauges["session.epoch"] != 3 {
+		t.Fatalf("snapshot gauge = %d", r.Gauges["session.epoch"])
+	}
+
+	a, b := New("a"), New("b")
+	a.Set("session.epoch", 2)
+	b.Set("session.epoch", 3)
+	b.Set("queue.depth", 7)
+	merged := Merge("all", a.Snapshot(), b.Snapshot())
+	if merged.Gauges["session.epoch"] != 3 || merged.Gauges["queue.depth"] != 7 {
+		t.Fatalf("merged gauges = %+v, want max across ranks", merged.Gauges)
+	}
+
+	var sb strings.Builder
+	if err := merged.WriteTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "gauge  session.epoch") {
+		t.Fatalf("trace missing gauge line:\n%s", sb.String())
+	}
+}
+
 func TestMemoryPeak(t *testing.T) {
 	m := New("r")
 	m.RecordAlloc(100)
