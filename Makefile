@@ -1,15 +1,18 @@
 GO ?= go
 
-.PHONY: check ci fmt vet build test race bench reconfig
+.PHONY: check ci fmt vet build test race bench reconfig trace
 
 ## check: everything a PR must pass — formatting, vet, build, race tests.
 check: fmt vet build race
 
-## ci: the continuous-integration gate — vet, build, full race-detector run.
+## ci: the continuous-integration gate — vet, build, full race-detector
+## run, plus the monitoring Nop-overhead benchmark gate (budget in
+## BENCH_monitor.json; runs without -race so the measurement is honest).
 ci:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(GO) test -run TestNopOverheadBudget -count=1 ./internal/monitor/
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -28,7 +31,8 @@ test:
 
 ## race: race-detector run over the packages on the M×N data path.
 race:
-	$(GO) test -race -count=1 ./internal/core/ ./internal/ndarray/ ./internal/shm/
+	$(GO) test -race -count=1 ./internal/core/ ./internal/ndarray/ ./internal/shm/ \
+		./internal/monitor/ ./internal/coupled/
 
 ## bench: redistribution benchmarks with allocation counts, archived as
 ## newline-delimited JSON in BENCH_redist.json.
@@ -53,3 +57,10 @@ bench:
 ## archives drain/wall costs per N -> N' delta in BENCH_reconfig.json.
 reconfig:
 	$(GO) run ./cmd/flexbench -exp reconfig
+
+## trace: observability walkthrough — runs an instrumented stream through
+## a mid-run reconfiguration plus the observation-steered coupled model,
+## writing trace.json (load in ui.perfetto.dev or about:tracing) and
+## metrics.json, with live /metrics served during the run.
+trace:
+	$(GO) run ./cmd/flexbench -exp trace -metrics 127.0.0.1:0

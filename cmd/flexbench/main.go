@@ -19,7 +19,9 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	metrics := flag.String("metrics", "", "serve live monitoring over HTTP at host:port during the trace experiment (e.g. 127.0.0.1:8123)")
 	flag.Parse()
+	experiment.SetMetricsAddr(*metrics)
 
 	if *list {
 		for _, id := range experiment.IDs() {

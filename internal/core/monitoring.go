@@ -34,6 +34,11 @@ func (g *WriterGroup) shipMonitorReport(step int64) {
 		return
 	}
 	snap := g.mon.Snapshot()
+	// Spans stay local: the per-rank ring can hold thousands of entries and
+	// the reader only needs the aggregate histograms for steering. Trace
+	// export merges span buffers from the monitors directly.
+	snap.Spans = nil
+	snap.SpansDropped = 0
 	payload, err := json.Marshal(snap)
 	if err != nil {
 		return

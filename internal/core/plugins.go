@@ -63,6 +63,14 @@ func (w *writerPlugins) remove(name string) bool {
 	return false
 }
 
+// empty reports whether no codelet is installed — the data path checks
+// it to skip per-event span bookkeeping when conditioning is off.
+func (w *writerPlugins) empty() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.entries) == 0
+}
+
 // apply runs the chain over an event; nil means dropped.
 func (w *writerPlugins) apply(ev *evpath.Event) (*evpath.Event, error) {
 	w.mu.Lock()

@@ -300,9 +300,17 @@ func (g *ReaderGroup) routeEvent(r int, ev *evpath.Event) {
 
 // acceptData runs the installed plug-ins and stores the piece.
 func (g *ReaderGroup) acceptData(r int, ev *evpath.Event) {
+	// The step is read before the plug-in chain runs so the dc.plugin span
+	// correlates with the writer-side spans of the same timestep even when
+	// a filter rewrites or drops the event.
+	preStep, _ := ev.Meta.GetInt("step")
 	g.mu.Lock()
 	plugins := g.plugins
 	g.mu.Unlock()
+	if len(plugins) > 0 {
+		sp := g.mon.StartSpan("dc.plugin", preStep, r).SetEpoch(g.sess.Epoch())
+		defer sp.End()
+	}
 	for _, p := range plugins {
 		out, err := p.fn(ev)
 		if err != nil || out == nil {
@@ -508,6 +516,8 @@ func (r *Reader) ReadArray(name string) ([]byte, ndarray.Box, error) {
 		return nil, ndarray.Box{}, fmt.Errorf("core: reader %d did not select %q", r.Rank, name)
 	}
 	box := sel[r.Rank]
+	sp := g.mon.StartSpan("reader.assemble", r.curStep, r.Rank).SetEpoch(g.sess.Epoch())
+	defer sp.End()
 	if r.inReplay {
 		return r.readReplayArray(name, box)
 	}

@@ -310,6 +310,15 @@ func distFingerprint(metaByRank map[int][]varData, name string, nWriters int) st
 	return s
 }
 
+// stepTrace carries the correlation attributes every span opened on one
+// timestep's data path shares: the session epoch and the id of the
+// enclosing writer.flush span, so a Chrome trace links pack → send →
+// assemble → plug-in events across ranks.
+type stepTrace struct {
+	epoch  uint64
+	parent uint64
+}
+
 // flush performs the per-step protocol: apply a parked reconfiguration
 // (this is the quiesce point — flushes are serialized, so any in-flight
 // step and the async queue up to here have drained), (re-)handshake as
@@ -321,6 +330,9 @@ func (g *WriterGroup) flush(ps *pendingStep) error {
 		stopTimer = g.mon.Start("flush")
 		defer stopTimer()
 	}
+	flushSpan := g.mon.StartSpan("writer.flush", ps.step, 0).SetEpoch(g.sess.Epoch())
+	defer flushSpan.End()
+	tr := stepTrace{epoch: g.sess.Epoch(), parent: flushSpan.SpanID()}
 	g.selMu.Lock()
 	readerGone := g.readerClosed
 	g.selMu.Unlock()
@@ -380,9 +392,9 @@ func (g *WriterGroup) flush(ps *pendingStep) error {
 
 	// Step 4.s: pack strides per receiver and send.
 	if g.opts.Batching {
-		err = g.sendBatched(ps, sel)
+		err = g.sendBatched(ps, sel, tr)
 	} else {
-		err = g.sendPerVariable(ps, sel)
+		err = g.sendPerVariable(ps, sel, tr)
 	}
 	if err != nil {
 		return err
@@ -395,7 +407,7 @@ func (g *WriterGroup) flush(ps *pendingStep) error {
 			ev := &evpath.Event{Meta: evpath.Record{
 				"kind": msgStepDone, "step": ps.step, "writer": int64(w),
 			}}
-			if err := g.sendEvent(w, r, ev); err != nil {
+			if err := g.sendEvent(w, r, ev, ps.step, tr); err != nil {
 				return err
 			}
 		}
@@ -425,7 +437,7 @@ func (g *WriterGroup) flush(ps *pendingStep) error {
 // Writer ranks proceed in parallel on the bounded executor: each rank
 // owns its own row of data connections, so per-rank packing and sending
 // are independent.
-func (g *WriterGroup) sendPerVariable(ps *pendingStep, sel readerSelections) error {
+func (g *WriterGroup) sendPerVariable(ps *pendingStep, sel readerSelections, tr stepTrace) error {
 	return parallelFor(g.NWriters, g.opts.PackWorkers, func(w int) error {
 		var pooled [][]byte
 		defer func() {
@@ -434,23 +446,22 @@ func (g *WriterGroup) sendPerVariable(ps *pendingStep, sel readerSelections) err
 			}
 		}()
 		for _, v := range ps.vars[w] {
+			packSpan := g.mon.StartSpan("writer.pack", ps.step, w).SetEpoch(tr.epoch).SetParent(tr.parent)
 			pieces, err := g.piecesFor(ps.step, w, v, sel, &pooled)
+			packSpan.End()
 			if err != nil {
 				return err
 			}
 			for r, evs := range pieces {
 				for _, ev := range evs {
-					out, err := g.plugins.apply(ev)
+					out, err := g.applyWriterPlugins(ev, ps.step, w, tr)
 					if err != nil {
 						return err
 					}
 					if out == nil {
-						if g.mon != nil {
-							g.mon.Incr("dc.writer.dropped", 1)
-						}
 						continue
 					}
-					if err := g.sendEvent(w, r, out); err != nil {
+					if err := g.sendEvent(w, r, out, ps.step, tr); err != nil {
 						return err
 					}
 				}
@@ -460,10 +471,32 @@ func (g *WriterGroup) sendPerVariable(ps *pendingStep, sel readerSelections) err
 	})
 }
 
+// applyWriterPlugins runs the deployed data-conditioning chain on one
+// outgoing event, recording a dc.plugin span (writer's address space)
+// when any codelet is installed. nil, nil means the event was dropped.
+func (g *WriterGroup) applyWriterPlugins(ev *evpath.Event, step int64, w int, tr stepTrace) (*evpath.Event, error) {
+	if g.plugins.empty() {
+		return ev, nil
+	}
+	sp := g.mon.StartSpan("dc.plugin", step, w).SetEpoch(tr.epoch).SetParent(tr.parent)
+	out, err := g.plugins.apply(ev)
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	if out == nil {
+		if g.mon != nil {
+			g.mon.Incr("dc.writer.dropped", 1)
+		}
+		return nil, nil
+	}
+	return out, nil
+}
+
 // sendBatched packs all of a writer's pieces for one reader into a single
 // framed transfer, aggregating handshaking and data messages. As in
 // sendPerVariable, writer ranks run in parallel.
-func (g *WriterGroup) sendBatched(ps *pendingStep, sel readerSelections) error {
+func (g *WriterGroup) sendBatched(ps *pendingStep, sel readerSelections, tr stepTrace) error {
 	return parallelFor(g.NWriters, g.opts.PackWorkers, func(w int) error {
 		var pooled [][]byte
 		defer func() {
@@ -473,7 +506,9 @@ func (g *WriterGroup) sendBatched(ps *pendingStep, sel readerSelections) error {
 		}()
 		perReader := make(map[int][]*evpath.Event)
 		for _, v := range ps.vars[w] {
+			packSpan := g.mon.StartSpan("writer.pack", ps.step, w).SetEpoch(tr.epoch).SetParent(tr.parent)
 			pieces, err := g.piecesFor(ps.step, w, v, sel, &pooled)
+			packSpan.End()
 			if err != nil {
 				return err
 			}
@@ -489,14 +524,11 @@ func (g *WriterGroup) sendBatched(ps *pendingStep, sel readerSelections) error {
 			var payload []byte
 			kept := 0
 			for _, ev := range evs {
-				out, err := g.plugins.apply(ev)
+				out, err := g.applyWriterPlugins(ev, ps.step, w, tr)
 				if err != nil {
 					return err
 				}
 				if out == nil {
-					if g.mon != nil {
-						g.mon.Incr("dc.writer.dropped", 1)
-					}
 					continue
 				}
 				ev = out
@@ -517,7 +549,7 @@ func (g *WriterGroup) sendBatched(ps *pendingStep, sel readerSelections) error {
 				Meta: evpath.Record{"kind": msgBatch, "step": ps.step, "writer": int64(w), "count": int64(kept)},
 				Data: payload,
 			}
-			if err := g.sendEvent(w, r, batch); err != nil {
+			if err := g.sendEvent(w, r, batch, ps.step, tr); err != nil {
 				return err
 			}
 		}
@@ -604,12 +636,19 @@ func (g *WriterGroup) piecesFor(step int64, w int, v varData, sel readerSelectio
 	return out, nil
 }
 
-func (g *WriterGroup) sendEvent(w, r int, ev *evpath.Event) error {
+func (g *WriterGroup) sendEvent(w, r int, ev *evpath.Event, step int64, tr stepTrace) error {
 	buf, err := evpath.EncodeEvent(ev)
 	if err != nil {
 		return err
 	}
-	if err := g.sendWithRetry(g.conns[w][r], buf); err != nil {
+	conn := g.conns[w][r]
+	var sendSpan monitor.ActiveSpan
+	if g.mon != nil { // guard: span name concat must not run on the nil path
+		sendSpan = g.mon.StartSpan("send."+conn.Transport(), step, w).SetEpoch(tr.epoch).SetParent(tr.parent)
+	}
+	err = g.sendWithRetry(conn, buf)
+	sendSpan.End()
+	if err != nil {
 		return err
 	}
 	if g.mon != nil {

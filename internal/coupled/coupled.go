@@ -28,6 +28,7 @@ import (
 	"flexio/internal/cachesim"
 	"flexio/internal/core"
 	"flexio/internal/machine"
+	"flexio/internal/monitor"
 	"flexio/internal/placement"
 	"flexio/internal/simnet"
 )
@@ -103,6 +104,18 @@ type Config struct {
 	// WritersPerReader maps simulation ranks onto analytics ranks
 	// contiguously; 0 derives it from the placement's process counts.
 	WritersPerReader int
+
+	// Mon, when non-nil, receives one virtual-time span per phase per
+	// step ("sim.compute", "sim.io", "analysis") plus the matching
+	// latency histograms, so a modeled run exports the same Chrome trace
+	// a real stream does. MonBase offsets the span timestamps and
+	// MonStep the step labels (RunSwitched uses both to line up the two
+	// epochs on one timeline); MonEpoch tags the spans' session epoch
+	// (0 means epoch 1).
+	Mon      *monitor.Monitor
+	MonBase  float64
+	MonStep  int
+	MonEpoch uint64
 }
 
 // Phases is the Figure 7 breakdown, per I/O interval (averaged).
@@ -209,6 +222,7 @@ func Run(cfg Config) (Result, error) {
 		res.TotalTime = float64(cfg.Steps) * interval
 		res.SimSlowdown = interval / (simCompute + simMPI)
 		res.CPUHours = float64(res.NodesUsed) * res.TotalTime / 3600
+		recordStepSpans(cfg, interval, res.Phases)
 		return res, nil
 	}
 
@@ -230,6 +244,7 @@ func Run(cfg Config) (Result, error) {
 		res.TotalTime = float64(cfg.Steps)*interval + offline
 		res.SimSlowdown = interval / (simCompute + simMPI)
 		res.CPUHours = float64(res.NodesUsed) * res.TotalTime / 3600
+		recordStepSpans(cfg, interval, res.Phases)
 		return res, nil
 	}
 
@@ -287,7 +302,43 @@ func Run(cfg Config) (Result, error) {
 	}
 	res.TotalTime = float64(cfg.Steps)*interval + drain
 	res.CPUHours = float64(res.NodesUsed) * res.TotalTime / 3600
+	recordStepSpans(cfg, interval, res.Phases)
 	return res, nil
+}
+
+// recordStepSpans emits the run's per-step phase spans onto the config's
+// monitor, on virtual time: each step occupies one interval, with the
+// sim-visible I/O and the analytics stage laid out after the compute
+// phase. RecordSpan also folds each duration into the point's latency
+// histogram, so a modeled run reports p50/p95/p99 like a real one.
+func recordStepSpans(cfg Config, interval float64, ph Phases) {
+	if cfg.Mon == nil {
+		return
+	}
+	epoch := cfg.MonEpoch
+	if epoch == 0 {
+		epoch = 1
+	}
+	for s := 0; s < cfg.Steps; s++ {
+		step := int64(cfg.MonStep + s)
+		base := cfg.MonBase + float64(s)*interval
+		cfg.Mon.RecordSpan(monitor.Span{
+			Point: "sim.compute", Step: step, Epoch: epoch,
+			Start: base, Dur: ph.SimCompute,
+		})
+		if ph.SimVisIO > 0 {
+			cfg.Mon.RecordSpan(monitor.Span{
+				Point: "sim.io", Step: step, Epoch: epoch,
+				Start: base + ph.SimCompute, Dur: ph.SimVisIO,
+			})
+		}
+		if ph.Analysis > 0 {
+			cfg.Mon.RecordSpan(monitor.Span{
+				Point: "analysis", Step: step, Epoch: epoch,
+				Start: base + ph.SimCompute + ph.SimVisIO, Dur: ph.Analysis,
+			})
+		}
+	}
 }
 
 // anaSharesSimNUMA reports whether any analytics process shares a NUMA

@@ -1,0 +1,150 @@
+package coupled
+
+import (
+	"fmt"
+
+	"flexio/internal/monitor"
+)
+
+// Observation-driven re-placement (Section II.G): instead of scripting
+// the switch step, RunSteered watches the monitoring signal the writer
+// side would ship each epoch — the ratio of the observed simulation
+// interval to its interference-free baseline — and triggers the
+// helper-core -> staging switch when sustained interference crosses a
+// threshold. The analytics footprint may grow over time (e.g. a
+// time-window accumulation), which is exactly the situation where an
+// a-priori placement goes stale mid-run.
+
+// SteerConfig describes a steered run.
+type SteerConfig struct {
+	// First is the starting regime; Second is the regime to switch to
+	// when the interference trigger fires.
+	First, Second Config
+	TotalSteps    int
+
+	// AnaFootprintAt returns the analytics cache footprint at a given
+	// step, modeling a working set that changes over the run. Nil means
+	// the static First.App.AnaFootprint.
+	AnaFootprintAt func(step int) int64
+
+	// Threshold is the sim-interval inflation ratio that counts as
+	// interference (e.g. 1.10 = 10% slowdown); Patience is how many
+	// consecutive epochs must exceed it before the switch fires
+	// (default 1).
+	Threshold float64
+	Patience  int
+
+	// Mon, when non-nil, receives the per-epoch interference
+	// observations and, after the decision, the full run's phase spans
+	// (via RunSwitched or Run).
+	Mon *monitor.Monitor
+}
+
+// SteerResult is the outcome of a steered run.
+type SteerResult struct {
+	SwitchResult
+	// Switched reports whether the observed-interference trigger fired
+	// mid-run; if false, the whole run executed under First and only
+	// SwitchResult.First/TotalTime/CPUHours are meaningful.
+	Switched bool
+	// TriggerStep is the first step executed under Second (valid when
+	// Switched).
+	TriggerStep int
+	// Signals is the per-step interference signal the steering loop saw
+	// (observed interval / baseline), for plotting and tests.
+	Signals []float64
+}
+
+// RunSteered simulates the steering loop step by step: each step it
+// observes the baseline compute interval and the cache-inflated one for
+// the analytics footprint at that step, folds both into cumulative
+// monitoring reports, and feeds the per-epoch delta signal to
+// monitor.Steering. When the trigger fires at step k, the run is replayed
+// as a RunSwitched with SwitchAt=k+1 — the boundary semantics of the
+// session protocol (the step that revealed the interference still
+// completes under the old regime). If the trigger never fires (or fires
+// on the final step, too late to re-place), the run completes under
+// First.
+func RunSteered(cfg SteerConfig) (SteerResult, error) {
+	var out SteerResult
+	if cfg.TotalSteps <= 0 {
+		return out, fmt.Errorf("coupled: steered run needs steps")
+	}
+	p := cfg.First.Place
+	if p == nil {
+		return out, fmt.Errorf("coupled: nil placement")
+	}
+	m := cfg.First.Machine
+	if m == nil {
+		m = p.Spec.Machine
+	}
+	app := cfg.First.App
+	threads := p.Spec.SimThreads
+	if threads < 1 {
+		threads = 1
+	}
+	footprint := cfg.AnaFootprintAt
+	if footprint == nil {
+		footprint = func(int) int64 { return app.AnaFootprint }
+	}
+
+	// The steering loop observes into its own monitor when the caller did
+	// not supply one: Steering consumes cumulative snapshots.
+	obs := cfg.Mon
+	if obs == nil {
+		obs = monitor.New("steer")
+	}
+	st := &monitor.Steering{
+		Point:     "sim.interval",
+		Baseline:  "sim.compute",
+		Threshold: cfg.Threshold,
+		Patience:  cfg.Patience,
+	}
+
+	baseline := app.SimComputePerInterval(threads)
+	shares := anaSharesSimNUMA(p, m)
+	switchAt := -1
+	for s := 0; s < cfg.TotalSteps; s++ {
+		factor := 1.0
+		if shares {
+			factor = app.Cache.Slowdown(m.Node.L3PerNUMA, app.SimWorkingSetPerNUMA, footprint(s))
+		}
+		obs.Observe("sim.compute", baseline)
+		obs.Observe("sim.interval", baseline*factor)
+		fired := st.Observe(obs.Snapshot())
+		out.Signals = append(out.Signals, st.LastSignal())
+		if fired && s+1 < cfg.TotalSteps {
+			switchAt = s + 1
+			break
+		}
+	}
+
+	if switchAt < 0 {
+		whole := cfg.First
+		whole.Steps = cfg.TotalSteps
+		whole.Mon = cfg.Mon
+		res, err := Run(whole)
+		if err != nil {
+			return out, err
+		}
+		out.First = res
+		out.TotalTime = res.TotalTime
+		out.CPUHours = res.CPUHours
+		return out, nil
+	}
+
+	sw, err := RunSwitched(SwitchConfig{
+		First:      cfg.First,
+		Second:     cfg.Second,
+		TotalSteps: cfg.TotalSteps,
+		SwitchAt:   switchAt,
+		Mon:        cfg.Mon,
+	})
+	if err != nil {
+		return out, err
+	}
+	out.SwitchResult = sw
+	out.Switched = true
+	out.TriggerStep = switchAt
+	return out, nil
+}

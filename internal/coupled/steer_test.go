@@ -1,0 +1,195 @@
+package coupled_test
+
+import (
+	"math"
+	"testing"
+
+	. "flexio/internal/coupled"
+	"flexio/internal/machine"
+	"flexio/internal/monitor"
+	"flexio/internal/placement"
+)
+
+// steerPlacements builds a helper-core start (analytics sharing the sim
+// NUMA domains, so cache interference is live) and a staging target on
+// the second node.
+func steerPlacements(t *testing.T, m *machine.Machine) (helper, staging *placement.Placement) {
+	t.Helper()
+	spec := buildGTSSpec(m, 4, 1)
+	simCore := []int{0, 1, 4, 5}
+	helper = &placement.Placement{Spec: spec, Policy: "manual-helper",
+		SimCore: simCore, AnaCore: []int{2, 3, 6, 7}}
+	staging = &placement.Placement{Spec: spec, Policy: "manual-staging",
+		SimCore: simCore, AnaCore: []int{16, 17, 18, 19}}
+	for _, p := range []*placement.Placement{helper, staging} {
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if helper.Kind() != placement.HelperCore || staging.Kind() != placement.Staging {
+		t.Fatalf("placement kinds: %v / %v", helper.Kind(), staging.Kind())
+	}
+	return helper, staging
+}
+
+// TestSteeredSwitchFiresOnObservedInterference: the analytics working
+// set grows over the run (a time-window accumulation); the steering loop
+// watches the observed sim-interval inflation and fires the helper-core
+// -> staging switch mid-run — no scripted SwitchAt anywhere.
+func TestSteeredSwitchFiresOnObservedInterference(t *testing.T) {
+	m := machine.Smoky(2)
+	app := gtsApp()
+	helper, staging := steerPlacements(t, m)
+
+	const steps = 10
+	mon := monitor.New("steer")
+	out, err := RunSteered(SteerConfig{
+		First:          Config{App: app, Place: helper, Steps: steps},
+		Second:         Config{App: app, Place: staging, Steps: steps},
+		TotalSteps:     steps,
+		AnaFootprintAt: func(s int) int64 { return int64(s) * 600_000 },
+		Threshold:      1.02,
+		Patience:       2,
+		Mon:            mon,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Switched {
+		t.Fatalf("growing footprint never triggered the switch; signals %v", out.Signals)
+	}
+	if out.TriggerStep <= 0 || out.TriggerStep >= steps {
+		t.Fatalf("trigger step %d not mid-run", out.TriggerStep)
+	}
+	// The signal the loop acted on must actually exceed the threshold for
+	// `patience` consecutive epochs right before the trigger.
+	n := len(out.Signals)
+	if n < 2 || out.Signals[n-1] <= 1.02 || out.Signals[n-2] <= 1.02 {
+		t.Fatalf("trigger without sustained signal: %v", out.Signals)
+	}
+	if out.First.Kind != placement.HelperCore || out.Second.Kind != placement.Staging {
+		t.Fatalf("phase kinds: %v -> %v", out.First.Kind, out.Second.Kind)
+	}
+	if out.ReconfigTime <= 0 {
+		t.Fatal("switch must pay a reconfiguration cost")
+	}
+
+	// The steered outcome equals a scripted switch at the same boundary.
+	scripted, err := RunSwitched(SwitchConfig{
+		First:      Config{App: app, Place: helper, Steps: steps},
+		Second:     Config{App: app, Place: staging, Steps: steps},
+		TotalSteps: steps,
+		SwitchAt:   out.TriggerStep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.TotalTime-scripted.TotalTime) > 1e-9 {
+		t.Fatalf("steered total %v != scripted total %v", out.TotalTime, scripted.TotalTime)
+	}
+
+	// The monitor saw both the steering observations and the run's spans.
+	rep := mon.Snapshot()
+	if rep.Timings["sim.interval"].Count == 0 {
+		t.Fatal("steering observations missing from monitor")
+	}
+	var epochs [3]int
+	for _, sp := range rep.Spans {
+		if sp.Epoch == 1 || sp.Epoch == 2 {
+			epochs[sp.Epoch]++
+		}
+	}
+	if epochs[1] == 0 || epochs[2] == 0 {
+		t.Fatalf("spans do not cover both epochs: %v", epochs)
+	}
+}
+
+// TestSteeredRunStaysPutWithoutInterference: a placement whose analytics
+// never disturbs the simulation completes the whole run under First.
+func TestSteeredRunStaysPutWithoutInterference(t *testing.T) {
+	m := machine.Smoky(2)
+	app := gtsApp()
+	helper, staging := steerPlacements(t, m)
+
+	const steps = 8
+	out, err := RunSteered(SteerConfig{
+		First:          Config{App: app, Place: helper, Steps: steps},
+		Second:         Config{App: app, Place: staging, Steps: steps},
+		TotalSteps:     steps,
+		AnaFootprintAt: func(int) int64 { return 0 }, // tiny working set
+		Threshold:      1.02,
+		Patience:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Switched {
+		t.Fatalf("switched with no observed interference; signals %v", out.Signals)
+	}
+	plain, err := Run(Config{App: app, Place: helper, Steps: steps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.TotalTime-plain.TotalTime) > 1e-9 {
+		t.Fatalf("unswitched steered total %v != plain run %v", out.TotalTime, plain.TotalTime)
+	}
+}
+
+// TestSwitchedRunRecordsSeamedTimeline: RunSwitched with a monitor lays
+// both epochs' spans on one virtual timeline with the reconfig span as
+// the seam.
+func TestSwitchedRunRecordsSeamedTimeline(t *testing.T) {
+	m := machine.Smoky(2)
+	app := gtsApp()
+	helper, staging := steerPlacements(t, m)
+
+	const steps, at = 6, 3
+	mon := monitor.New("switched")
+	out, err := RunSwitched(SwitchConfig{
+		First:      Config{App: app, Place: helper, Steps: steps},
+		Second:     Config{App: app, Place: staging, Steps: steps},
+		TotalSteps: steps,
+		SwitchAt:   at,
+		Mon:        mon,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := mon.Snapshot()
+	var reconfig *monitor.Span
+	firstEnd, secondStart := 0.0, math.Inf(1)
+	for i := range rep.Spans {
+		sp := rep.Spans[i]
+		switch {
+		case sp.Point == "reconfig":
+			reconfig = &rep.Spans[i]
+		case sp.Epoch == 1:
+			if end := sp.Start + sp.Dur; end > firstEnd {
+				firstEnd = end
+			}
+			if sp.Step >= at {
+				t.Fatalf("epoch-1 span for step %d past the switch: %+v", sp.Step, sp)
+			}
+		case sp.Epoch == 2:
+			if sp.Start < secondStart {
+				secondStart = sp.Start
+			}
+			if sp.Step < at {
+				t.Fatalf("epoch-2 span for pre-switch step %d: %+v", sp.Step, sp)
+			}
+		}
+	}
+	if reconfig == nil {
+		t.Fatal("no reconfig span recorded")
+	}
+	if math.Abs(reconfig.Start-out.First.TotalTime) > 1e-9 || math.Abs(reconfig.Dur-out.ReconfigTime) > 1e-9 {
+		t.Fatalf("reconfig span %+v, want start %v dur %v", reconfig, out.First.TotalTime, out.ReconfigTime)
+	}
+	// The second epoch begins after the seam, and the first ends at it.
+	if firstEnd > reconfig.Start+1e-9 {
+		t.Fatalf("epoch-1 spans end %v after reconfig start %v", firstEnd, reconfig.Start)
+	}
+	if secondStart < reconfig.Start+reconfig.Dur-1e-9 {
+		t.Fatalf("epoch-2 spans start %v inside the reconfig gap ending %v", secondStart, reconfig.Start+reconfig.Dur)
+	}
+}

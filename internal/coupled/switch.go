@@ -3,6 +3,7 @@ package coupled
 import (
 	"fmt"
 
+	"flexio/internal/monitor"
 	"flexio/internal/placement"
 )
 
@@ -16,6 +17,12 @@ type SwitchConfig struct {
 	First, Second Config
 	TotalSteps    int
 	SwitchAt      int // steps executed under First (0 < SwitchAt < TotalSteps)
+
+	// Mon, when non-nil, receives both epochs' per-step phase spans on a
+	// single virtual timeline (epoch 1 / epoch 2) plus a "reconfig" span
+	// covering the switch gap — the trace shows the drain, re-handshake
+	// and re-dial as a visible seam between the two regimes.
+	Mon *monitor.Monitor
 }
 
 // SwitchResult is the outcome of one switched run.
@@ -58,12 +65,10 @@ func RunSwitched(cfg SwitchConfig) (SwitchResult, error) {
 
 	first := cfg.First
 	first.Steps = cfg.SwitchAt
-	second := cfg.Second
-	second.Steps = cfg.TotalSteps - cfg.SwitchAt
-	if out.First, err = Run(first); err != nil {
-		return out, err
+	if cfg.Mon != nil {
+		first.Mon, first.MonEpoch = cfg.Mon, 1
 	}
-	if out.Second, err = Run(second); err != nil {
+	if out.First, err = Run(first); err != nil {
 		return out, err
 	}
 
@@ -108,6 +113,25 @@ func RunSwitched(cfg SwitchConfig) (SwitchResult, error) {
 	out.RedialTime = float64(spec.NSim*len(changed)) * 2 * perMsg
 
 	out.ReconfigTime = out.DrainTime + out.RehandshakeTime + out.RedialTime
+
+	// The second phase runs after the first plus the reconfiguration gap;
+	// its spans continue the same timeline and step numbering under the
+	// bumped epoch.
+	second := cfg.Second
+	second.Steps = cfg.TotalSteps - cfg.SwitchAt
+	if cfg.Mon != nil {
+		second.Mon, second.MonEpoch = cfg.Mon, 2
+		second.MonBase = out.First.TotalTime + out.ReconfigTime
+		second.MonStep = cfg.SwitchAt
+		cfg.Mon.RecordSpan(monitor.Span{
+			Point: "reconfig", Step: int64(cfg.SwitchAt), Epoch: 2,
+			Start: out.First.TotalTime, Dur: out.ReconfigTime,
+		})
+	}
+	if out.Second, err = Run(second); err != nil {
+		return out, err
+	}
+
 	out.TotalTime = out.First.TotalTime + out.ReconfigTime + out.Second.TotalTime
 	nodes := maxInt(out.First.NodesUsed, out.Second.NodesUsed)
 	out.CPUHours = out.First.CPUHours + out.Second.CPUHours +

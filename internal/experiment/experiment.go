@@ -91,6 +91,7 @@ var Registry = map[string]func() (*Figure, error){
 	"s3dtune":  S3DTuning,
 	"claims":   Claims,
 	"reconfig": func() (*Figure, error) { return ReconfigBench("BENCH_reconfig.json") },
+	"trace":    func() (*Figure, error) { return TraceRun("trace.json", "metrics.json", metricsAddr) },
 }
 
 // IDs returns the registered experiment ids, sorted.

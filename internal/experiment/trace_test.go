@@ -1,0 +1,107 @@
+package experiment
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// chromeFile mirrors the trace-event JSON for decoding in tests.
+type chromeFile struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func TestTraceRunArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	metricsPath := filepath.Join(dir, "metrics.json")
+
+	fig, err := TraceRun(tracePath, metricsPath, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The mid-run live check must have actually run and passed.
+	notes := strings.Join(fig.Notes, "\n")
+	if !strings.Contains(notes, "self-check: ok") {
+		t.Fatalf("no live /metrics self-check in notes:\n%s", notes)
+	}
+	if !strings.Contains(notes, "switch at step") {
+		t.Fatalf("steered run did not report an observed switch:\n%s", notes)
+	}
+
+	// trace.json: valid Chrome trace with one timestep's stages correlated
+	// by args.step across writer and reader process lanes.
+	blob, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr chromeFile
+	if err := json.Unmarshal(blob, &tr); err != nil {
+		t.Fatalf("trace.json does not parse: %v", err)
+	}
+	pidName := map[int]string{}
+	for _, ev := range tr.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			pidName[ev.Pid] = ev.Args["name"].(string)
+		}
+	}
+	// Stages of probe step 1, by origin lane.
+	stages := map[string]map[string]bool{} // point -> set of origins
+	for _, ev := range tr.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		if step, ok := ev.Args["step"].(float64); !ok || step != 1 {
+			continue
+		}
+		if stages[ev.Name] == nil {
+			stages[ev.Name] = map[string]bool{}
+		}
+		stages[ev.Name][pidName[ev.Pid]] = true
+	}
+	for point, origin := range map[string]string{
+		"writer.flush":    "writers",
+		"writer.pack":     "writers",
+		"send.shm":        "writers",
+		"reader.assemble": "readers",
+		"dc.plugin":       "readers",
+		"sim.compute":     "coupled",
+	} {
+		if !stages[point][origin] {
+			t.Errorf("step 1 missing %q in lane %q (have %v)", point, origin, stages[point])
+		}
+	}
+
+	// metrics.json: machine-readable report with quantiles for the flush
+	// timing point.
+	blob, err = os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Name    string `json:"name"`
+		Timings map[string]struct {
+			Count int64   `json:"count"`
+			P95   float64 `json:"p95"`
+		} `json:"timings"`
+	}
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("metrics.json does not parse: %v", err)
+	}
+	if rep.Name != "flexio" {
+		t.Fatalf("merged report name %q", rep.Name)
+	}
+	fl := rep.Timings["flush"]
+	if fl.Count == 0 || fl.P95 <= 0 {
+		t.Fatalf("flush timing not exported: %+v", fl)
+	}
+}

@@ -1,0 +1,219 @@
+package monitor
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestWriteChromeTrace(t *testing.T) {
+	w := New("writers")
+	r := New("readers")
+	cw := &fakeClock{t: 1}
+	cr := &fakeClock{t: 1}
+	w.SetClock(cw)
+	r.SetClock(cr)
+
+	sp := w.StartSpan("writer.pack", 3, 0).SetEpoch(2)
+	cw.t = 1.5
+	sp.End()
+	sp2 := r.StartSpan("reader.assemble", 3, 1).SetEpoch(2)
+	cr.t = 2
+	sp2.End()
+
+	merged := Merge("trace", w.Snapshot(), r.Snapshot())
+	var buf bytes.Buffer
+	if err := merged.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var metas, complete int
+	pids := map[string]float64{} // span name -> pid
+	for _, ev := range tr.TraceEvents {
+		switch ev["ph"] {
+		case "M":
+			metas++
+		case "X":
+			complete++
+			pids[ev["name"].(string)] = ev["pid"].(float64)
+			args := ev["args"].(map[string]any)
+			if args["step"].(float64) != 3 || args["epoch"].(float64) != 2 {
+				t.Fatalf("span args lost: %+v", ev)
+			}
+			if ev["dur"].(float64) <= 0 {
+				t.Fatalf("non-positive dur: %+v", ev)
+			}
+		}
+	}
+	if metas != 2 || complete != 2 {
+		t.Fatalf("got %d process-name metas, %d complete events; want 2/2", metas, complete)
+	}
+	// Writer and reader spans land in different process lanes.
+	if pids["writer.pack"] == pids["reader.assemble"] {
+		t.Fatalf("writer and reader spans share a pid")
+	}
+}
+
+func TestWriteJSONMachineReadable(t *testing.T) {
+	m := New("json")
+	m.Observe("flush", 0.125)
+	m.AddVolume("data.bytes", 4096)
+	m.Set("session.epoch", 2)
+	var buf bytes.Buffer
+	if err := m.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	timings := doc["timings"].(map[string]any)
+	flush := timings["flush"].(map[string]any)
+	for _, k := range []string{"count", "total", "min", "max", "p50", "p95", "p99"} {
+		if _, ok := flush[k]; !ok {
+			t.Fatalf("machine report missing %q: %+v", k, flush)
+		}
+	}
+}
+
+func TestServerEndpoints(t *testing.T) {
+	m := New("live")
+	for i := 0; i < 100; i++ {
+		m.Observe("writer.pack", 1e-3)
+	}
+	m.StartSpan("writer.pack", 1, 0).End()
+
+	srv := NewServer(func() Report { return m.Snapshot() })
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	metrics := get("/metrics")
+	if !strings.Contains(metrics, "writer.pack") || !strings.Contains(metrics, "p95=") {
+		t.Fatalf("/metrics lacks quantiles:\n%s", metrics)
+	}
+	var tr struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(get("/trace")), &tr); err != nil {
+		t.Fatalf("/trace invalid: %v", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Fatal("/trace empty")
+	}
+	var spans Report
+	if err := json.Unmarshal([]byte(get("/spans")), &spans); err != nil {
+		t.Fatalf("/spans invalid: %v", err)
+	}
+	if len(spans.Spans) != 1 {
+		t.Fatalf("/spans returned %d spans, want 1", len(spans.Spans))
+	}
+	var full Report
+	if err := json.Unmarshal([]byte(get("/report")), &full); err != nil {
+		t.Fatalf("/report invalid: %v", err)
+	}
+	if full.Timings["writer.pack"].Count != 101 {
+		t.Fatalf("/report count = %d, want 101", full.Timings["writer.pack"].Count)
+	}
+}
+
+func TestSteeringTriggersOnSustainedInterference(t *testing.T) {
+	m := New("sim")
+	st := &Steering{Point: "sim.interval", Baseline: "sim.compute", Threshold: 1.10, Patience: 2}
+
+	// Epochs 0..9: baseline 1s; interference ramps from 1.0x to 1.45x in
+	// 0.05 steps. The per-epoch ratio first exceeds 1.10 at epoch 3; with
+	// patience 2 the trigger fires at epoch 4.
+	firedAt := -1
+	for e := 0; e < 10; e++ {
+		m.Observe("sim.compute", 1.0)
+		m.Observe("sim.interval", 1.0+0.05*float64(e))
+		if st.Observe(m.Snapshot()) {
+			firedAt = e
+		}
+	}
+	if firedAt != 4 {
+		t.Fatalf("fired at epoch %d, want 4 (threshold crossing + patience)", firedAt)
+	}
+	if !st.Fired() {
+		t.Fatal("Fired() false after trigger")
+	}
+	if st.Epochs() != 10 {
+		t.Fatalf("epochs = %d", st.Epochs())
+	}
+	// Signal keeps tracking the *latest* epoch after firing (delta, not
+	// cumulative mean): epoch 9 observed 1.45/1.0.
+	if got := st.LastSignal(); got < 1.40 || got > 1.50 {
+		t.Fatalf("last signal %v, want ~1.45", got)
+	}
+}
+
+func TestSteeringDoesNotFireBelowThreshold(t *testing.T) {
+	m := New("sim")
+	st := &Steering{Point: "sim.interval", Baseline: "sim.compute", Threshold: 1.10, Patience: 1}
+	for e := 0; e < 20; e++ {
+		m.Observe("sim.compute", 1.0)
+		m.Observe("sim.interval", 1.05) // steady 5%: under threshold
+		if st.Observe(m.Snapshot()) {
+			t.Fatalf("fired at %d on sub-threshold signal", e)
+		}
+	}
+	// A single spike with patience 2 must not fire either.
+	st2 := &Steering{Point: "sim.interval", Baseline: "sim.compute", Threshold: 1.10, Patience: 2}
+	m2 := New("sim2")
+	for e := 0; e < 10; e++ {
+		m2.Observe("sim.compute", 1.0)
+		if e == 5 {
+			m2.Observe("sim.interval", 2.0) // one-epoch spike
+		} else {
+			m2.Observe("sim.interval", 1.0)
+		}
+		if st2.Observe(m2.Snapshot()) {
+			t.Fatalf("patience 2 fired on a single spike (epoch %d)", e)
+		}
+	}
+}
+
+func TestSteeringCustomSignal(t *testing.T) {
+	st := &Steering{
+		Signal:    func(r Report) float64 { return float64(r.Gauges["mpki.shared"]) / 100 },
+		Threshold: 0.5,
+	}
+	rep := Report{Gauges: map[string]int64{"mpki.shared": 40}}
+	if st.Observe(rep) {
+		t.Fatal("fired below threshold")
+	}
+	rep.Gauges["mpki.shared"] = 80
+	if !st.Observe(rep) {
+		t.Fatal("custom signal did not fire")
+	}
+	if st.Observe(rep) {
+		t.Fatal("re-fired")
+	}
+}

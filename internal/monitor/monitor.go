@@ -4,6 +4,21 @@
 // times, and memory usage during data movement. Reports can be dumped as
 // trace files for offline tuning or gathered online (Merge) so the
 // analytics side can steer data-movement scheduling and plug-in placement.
+//
+// Timings are log-bucketed histograms, so merged reports expose tail
+// latency (P50/P95/P99) per measurement point, not just min/max. Spans
+// (span.go) add per-step structure: one timestep's pack → send → assemble
+// → plug-in stages can be followed end to end across ranks and exported
+// as a Chrome trace (export.go) or served live (server.go).
+//
+// Timestamps come from an injectable Clock. The default is the wall
+// clock; virtual-time simulations inject their discrete-event engine
+// (simnet.Engine satisfies Clock) so modeled and measured seconds are
+// never mixed in the same TimingStat.
+//
+// A nil *Monitor is a valid no-op monitor: every method is nil-safe and
+// returns immediately, so instrumented code needs no guards and pays
+// (benchmarked) near-zero cost when monitoring is disabled.
 package monitor
 
 import (
@@ -15,12 +30,74 @@ import (
 	"time"
 )
 
-// TimingStat aggregates observations of one measurement point.
+// Clock supplies timestamps in seconds. The zero point is arbitrary but
+// must be fixed for the clock's lifetime: only differences and relative
+// ordering are interpreted. simnet.Engine's virtual clock satisfies this
+// interface directly.
+type Clock interface {
+	Now() float64
+}
+
+// processStart anchors the wall clock so every monitor in the process
+// shares one time base and spans from different monitors correlate.
+var processStart = time.Now()
+
+type wallClock struct{}
+
+func (wallClock) Now() float64 { return time.Since(processStart).Seconds() }
+
+// WallClock returns the default clock: monotonic seconds since process
+// start.
+func WallClock() Clock { return wallClock{} }
+
+// HistBuckets is the number of log2 latency buckets a TimingStat carries.
+const HistBuckets = 64
+
+// histZero is the bucket index covering [1s, 2s): bucket b spans
+// [2^(b-histZero), 2^(b-histZero+1)) seconds, so the histogram resolves
+// durations from ~0.23ns (bucket 0) to ~2^31s (bucket 63).
+const histZero = 32
+
+// histBucket maps a duration in seconds to its bucket.
+func histBucket(seconds float64) int {
+	if seconds <= 0 || math.IsNaN(seconds) {
+		return 0
+	}
+	if math.IsInf(seconds, 1) {
+		return HistBuckets - 1
+	}
+	_, exp := math.Frexp(seconds) // seconds = f * 2^exp, f in [0.5, 1)
+	b := exp - 1 + histZero       // floor(log2 seconds) + histZero
+	if b < 0 {
+		return 0
+	}
+	if b >= HistBuckets {
+		return HistBuckets - 1
+	}
+	return b
+}
+
+// bucketMid is a bucket's representative duration: the geometric midpoint
+// of its bounds.
+func bucketMid(b int) float64 {
+	return math.Exp2(float64(b-histZero) + 0.5)
+}
+
+// TimingStat aggregates observations of one measurement point: count,
+// total, extrema, and a log2-bucketed histogram for quantiles. Stats are
+// mergeable across ranks bucket-wise. The zero value is NOT an empty
+// stat (its Min would compare wrong); empty stats are created internally
+// with Min=+Inf/Max=-Inf and serialize safely (export.go guards them).
 type TimingStat struct {
 	Count int64
 	Total float64 // seconds
 	Min   float64
 	Max   float64
+	Hist  [HistBuckets]int64
+}
+
+func newTimingStat() *TimingStat {
+	return &TimingStat{Min: math.Inf(1), Max: math.Inf(-1)}
 }
 
 // Mean returns the average duration in seconds (0 when empty).
@@ -31,21 +108,105 @@ func (s TimingStat) Mean() float64 {
 	return s.Total / float64(s.Count)
 }
 
-// Monitor collects measurements. All methods are safe for concurrent use;
-// a Monitor typically belongs to one FlexIO process (rank).
+// add folds one observation in.
+func (s *TimingStat) add(seconds float64) {
+	s.Count++
+	s.Total += seconds
+	if seconds < s.Min {
+		s.Min = seconds
+	}
+	if seconds > s.Max {
+		s.Max = seconds
+	}
+	s.Hist[histBucket(seconds)]++
+}
+
+// merge folds another stat in bucket-wise.
+func (s *TimingStat) merge(o TimingStat) {
+	s.Count += o.Count
+	s.Total += o.Total
+	if o.Min < s.Min {
+		s.Min = o.Min
+	}
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+	for b, n := range o.Hist {
+		s.Hist[b] += n
+	}
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) from the histogram. The
+// estimate is the geometric midpoint of the bucket holding the target
+// observation, clamped to the exact [Min, Max] envelope; it is accurate
+// to within a factor of sqrt(2). Returns 0 when empty.
+func (s TimingStat) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.Min
+	}
+	if q >= 1 {
+		return s.Max
+	}
+	target := int64(math.Ceil(q * float64(s.Count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for b := 0; b < HistBuckets; b++ {
+		cum += s.Hist[b]
+		if cum >= target {
+			v := bucketMid(b)
+			if v < s.Min {
+				v = s.Min
+			}
+			if v > s.Max {
+				v = s.Max
+			}
+			return v
+		}
+	}
+	return s.Max
+}
+
+// P50 is the median duration estimate.
+func (s TimingStat) P50() float64 { return s.Quantile(0.50) }
+
+// P95 is the 95th-percentile duration estimate.
+func (s TimingStat) P95() float64 { return s.Quantile(0.95) }
+
+// P99 is the 99th-percentile duration estimate.
+func (s TimingStat) P99() float64 { return s.Quantile(0.99) }
+
+// DefaultSpanCapacity bounds the per-monitor span ring buffer; once full,
+// the oldest spans are overwritten (Report.SpansDropped counts them).
+const DefaultSpanCapacity = 4096
+
+// Monitor collects measurements. All methods are safe for concurrent use
+// and nil-safe (a nil *Monitor is the no-op fast path); a Monitor
+// typically belongs to one FlexIO process group.
 type Monitor struct {
 	Name string
 
 	mu      sync.Mutex
+	clock   Clock
 	timings map[string]*TimingStat
 	volumes map[string]int64
 	counts  map[string]int64
 	gauges  map[string]int64
 	memCur  int64
 	memPeak int64
+
+	spans      []Span // ring buffer, oldest at spanNext once saturated
+	spanCap    int
+	spanNext   int
+	spanSeen   int64
+	nextSpanID uint64
 }
 
-// New creates a named monitor.
+// New creates a named monitor on the wall clock.
 func New(name string) *Monitor {
 	return &Monitor{
 		Name:    name,
@@ -53,39 +214,100 @@ func New(name string) *Monitor {
 		volumes: make(map[string]int64),
 		counts:  make(map[string]int64),
 		gauges:  make(map[string]int64),
+		spanCap: DefaultSpanCapacity,
 	}
 }
 
-// Start begins timing a measurement point; invoke the returned func to
-// stop. Usage: defer m.Start("redistribute")().
+// SetClock injects the timestamp source for Start and StartSpan; nil
+// restores the wall clock. Virtual-time runs pass their simnet engine so
+// modeled seconds never mix with wall seconds.
+func (m *Monitor) SetClock(c Clock) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.clock = c
+	m.mu.Unlock()
+}
+
+// SetSpanCapacity resizes the span ring buffer (existing spans are
+// dropped); n <= 0 disables span recording entirely.
+func (m *Monitor) SetSpanCapacity(n int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	if n < 0 {
+		n = 0
+	}
+	m.spanCap = n
+	m.spans = nil
+	m.spanNext = 0
+	m.spanSeen = 0
+	m.mu.Unlock()
+}
+
+// now reads the injected clock (wall clock when unset).
+func (m *Monitor) now() float64 {
+	m.mu.Lock()
+	c := m.clock
+	m.mu.Unlock()
+	if c == nil {
+		return wallClock{}.Now()
+	}
+	return c.Now()
+}
+
+// Start begins timing a measurement point on the monitor's clock; invoke
+// the returned func to stop. Usage: defer m.Start("redistribute")().
 func (m *Monitor) Start(point string) func() {
-	t0 := time.Now()
-	return func() { m.Observe(point, time.Since(t0).Seconds()) }
+	if m == nil {
+		return func() {}
+	}
+	t0 := m.now()
+	return func() { m.Observe(point, m.now()-t0) }
 }
 
 // Observe records a duration (in seconds) for a measurement point. Used
 // directly by the virtual-time simulator, where durations are modeled
 // rather than measured.
 func (m *Monitor) Observe(point string, seconds float64) {
+	if m == nil {
+		return
+	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.observeLocked(point, seconds)
+	m.mu.Unlock()
+}
+
+func (m *Monitor) observeLocked(point string, seconds float64) {
 	st := m.timings[point]
 	if st == nil {
-		st = &TimingStat{Min: math.Inf(1), Max: math.Inf(-1)}
+		st = newTimingStat()
 		m.timings[point] = st
 	}
-	st.Count++
-	st.Total += seconds
-	if seconds < st.Min {
-		st.Min = seconds
+	st.add(seconds)
+}
+
+// Declare pre-registers a measurement point with no observations, so
+// exports and the live endpoints show it before the first sample. An
+// empty stat reports zero Min/Max/quantiles (never +Inf).
+func (m *Monitor) Declare(point string) {
+	if m == nil {
+		return
 	}
-	if seconds > st.Max {
-		st.Max = seconds
+	m.mu.Lock()
+	if m.timings[point] == nil {
+		m.timings[point] = newTimingStat()
 	}
+	m.mu.Unlock()
 }
 
 // AddVolume accumulates transferred bytes at a measurement point.
 func (m *Monitor) AddVolume(point string, bytes int64) {
+	if m == nil {
+		return
+	}
 	m.mu.Lock()
 	m.volumes[point] += bytes
 	m.mu.Unlock()
@@ -93,6 +315,9 @@ func (m *Monitor) AddVolume(point string, bytes int64) {
 
 // Incr bumps a named counter.
 func (m *Monitor) Incr(point string, n int64) {
+	if m == nil {
+		return
+	}
 	m.mu.Lock()
 	m.counts[point] += n
 	m.mu.Unlock()
@@ -102,6 +327,9 @@ func (m *Monitor) Incr(point string, n int64) {
 // as `session.epoch` or a queue depth, as opposed to the monotonic
 // accumulation of Incr.
 func (m *Monitor) Set(point string, v int64) {
+	if m == nil {
+		return
+	}
 	m.mu.Lock()
 	m.gauges[point] = v
 	m.mu.Unlock()
@@ -109,6 +337,9 @@ func (m *Monitor) Set(point string, v int64) {
 
 // Gauge reads back a gauge value (0 if never set).
 func (m *Monitor) Gauge(point string) int64 {
+	if m == nil {
+		return 0
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.gauges[point]
@@ -117,6 +348,9 @@ func (m *Monitor) Gauge(point string) int64 {
 // RecordAlloc tracks dynamic memory allocated inside FlexIO's data path
 // ("dynamic memory allocation points within FlexIO are also instrumented").
 func (m *Monitor) RecordAlloc(bytes int64) {
+	if m == nil {
+		return
+	}
 	m.mu.Lock()
 	m.memCur += bytes
 	if m.memCur > m.memPeak {
@@ -127,6 +361,9 @@ func (m *Monitor) RecordAlloc(bytes int64) {
 
 // RecordFree tracks the release of data-path memory.
 func (m *Monitor) RecordFree(bytes int64) {
+	if m == nil {
+		return
+	}
 	m.mu.Lock()
 	m.memCur -= bytes
 	m.mu.Unlock()
@@ -134,17 +371,24 @@ func (m *Monitor) RecordFree(bytes int64) {
 
 // Report is an immutable snapshot of a monitor.
 type Report struct {
-	Name    string
-	Timings map[string]TimingStat
-	Volumes map[string]int64
-	Counts  map[string]int64
-	Gauges  map[string]int64
-	MemCur  int64
-	MemPeak int64
+	Name    string                `json:"name"`
+	Timings map[string]TimingStat `json:"timings,omitempty"`
+	Volumes map[string]int64      `json:"volumes,omitempty"`
+	Counts  map[string]int64      `json:"counts,omitempty"`
+	Gauges  map[string]int64      `json:"gauges,omitempty"`
+	MemCur  int64                 `json:"mem_cur,omitempty"`
+	MemPeak int64                 `json:"mem_peak,omitempty"`
+	// Spans holds the ring buffer's contents, oldest first;
+	// SpansDropped counts spans already overwritten by the bound.
+	Spans        []Span `json:"spans,omitempty"`
+	SpansDropped int64  `json:"spans_dropped,omitempty"`
 }
 
-// Snapshot captures the current state.
+// Snapshot captures the current state. A nil monitor snapshots empty.
 func (m *Monitor) Snapshot() Report {
+	if m == nil {
+		return Report{}
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	r := Report{
@@ -168,12 +412,17 @@ func (m *Monitor) Snapshot() Report {
 	for k, v := range m.gauges {
 		r.Gauges[k] = v
 	}
+	r.Spans = m.snapshotSpansLocked()
+	if dropped := m.spanSeen - int64(len(m.spans)); dropped > 0 {
+		r.SpansDropped = dropped
+	}
 	return r
 }
 
 // Merge combines reports (e.g. gathered from all simulation ranks) into
-// one: timings aggregate, volumes and counters sum, memory peaks take the
-// max-of-peaks and sum-of-current.
+// one: timings aggregate bucket-wise, volumes and counters sum, memory
+// peaks take the max-of-peaks and sum-of-current, and spans concatenate
+// in timestamp order.
 func Merge(name string, reports ...Report) Report {
 	out := Report{
 		Name:    name,
@@ -189,14 +438,7 @@ func Merge(name string, reports ...Report) Report {
 				out.Timings[k] = v
 				continue
 			}
-			cur.Count += v.Count
-			cur.Total += v.Total
-			if v.Min < cur.Min {
-				cur.Min = v.Min
-			}
-			if v.Max > cur.Max {
-				cur.Max = v.Max
-			}
+			cur.merge(v)
 			out.Timings[k] = cur
 		}
 		for k, v := range r.Volumes {
@@ -217,12 +459,23 @@ func Merge(name string, reports ...Report) Report {
 		if r.MemPeak > out.MemPeak {
 			out.MemPeak = r.MemPeak
 		}
+		out.Spans = append(out.Spans, r.Spans...)
+		out.SpansDropped += r.SpansDropped
 	}
+	sort.SliceStable(out.Spans, func(i, j int) bool { return out.Spans[i].Start < out.Spans[j].Start })
 	return out
 }
 
+// finiteOrZero guards an empty stat's ±Inf extrema for display/export.
+func finiteOrZero(v float64) float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return 0
+	}
+	return v
+}
+
 // WriteTrace dumps the report as a human-readable trace for offline
-// performance tuning.
+// performance tuning, including per-point tail latency.
 func (r Report) WriteTrace(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "# flexio trace: %s\n", r.Name); err != nil {
 		return err
@@ -234,8 +487,9 @@ func (r Report) WriteTrace(w io.Writer) error {
 	sort.Strings(keys)
 	for _, k := range keys {
 		t := r.Timings[k]
-		if _, err := fmt.Fprintf(w, "timing %-32s count=%-8d total=%.6fs mean=%.6fs min=%.6fs max=%.6fs\n",
-			k, t.Count, t.Total, t.Mean(), t.Min, t.Max); err != nil {
+		if _, err := fmt.Fprintf(w, "timing %-32s count=%-8d total=%.6fs mean=%.6fs min=%.6fs max=%.6fs p50=%.6fs p95=%.6fs p99=%.6fs\n",
+			k, t.Count, t.Total, t.Mean(), finiteOrZero(t.Min), finiteOrZero(t.Max),
+			t.P50(), t.P95(), t.P99()); err != nil {
 			return err
 		}
 	}
@@ -266,6 +520,11 @@ func (r Report) WriteTrace(w io.Writer) error {
 	sort.Strings(keys)
 	for _, k := range keys {
 		if _, err := fmt.Fprintf(w, "gauge  %-32s v=%d\n", k, r.Gauges[k]); err != nil {
+			return err
+		}
+	}
+	if len(r.Spans) > 0 || r.SpansDropped > 0 {
+		if _, err := fmt.Fprintf(w, "spans  buffered=%d dropped=%d\n", len(r.Spans), r.SpansDropped); err != nil {
 			return err
 		}
 	}

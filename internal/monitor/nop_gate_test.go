@@ -1,0 +1,52 @@
+//go:build !race
+
+package monitor
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestNopOverheadBudget is the CI regression gate for the disabled-path
+// cost: the per-iteration overhead of a nil-monitor span (StartSpan +
+// SetEpoch + End around real work) relative to the uninstrumented
+// baseline must stay under the budget recorded in BENCH_monitor.json.
+// The budget is deliberately generous — the measured overhead is ~20ns
+// (three value-receiver calls copying the span handle); the gate catches
+// an accidental allocation or lock on the nil path, not scheduler jitter. Excluded under -race
+// (instrumented builds time nothing meaningful).
+func TestNopOverheadBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark gate skipped in -short")
+	}
+	blob, err := os.ReadFile("../../BENCH_monitor.json")
+	if err != nil {
+		t.Fatalf("BENCH_monitor.json missing (run `make bench-monitor` to record): %v", err)
+	}
+	var budget struct {
+		NopSpanBudgetNs float64 `json:"nop_span_budget_ns"`
+	}
+	if err := json.Unmarshal(blob, &budget); err != nil {
+		t.Fatalf("BENCH_monitor.json: %v", err)
+	}
+	if budget.NopSpanBudgetNs <= 0 {
+		t.Fatal("BENCH_monitor.json has no nop_span_budget_ns")
+	}
+
+	base := testing.Benchmark(BenchmarkBaseline)
+	nop := testing.Benchmark(BenchmarkSpanNop)
+	overhead := float64(nop.NsPerOp()) - float64(base.NsPerOp())
+	if overhead < 0 {
+		overhead = 0 // within noise: the nop path measured faster
+	}
+	t.Logf("baseline %dns/op, nop span %dns/op, overhead %.1fns (budget %.1fns)",
+		base.NsPerOp(), nop.NsPerOp(), overhead, budget.NopSpanBudgetNs)
+	if overhead > budget.NopSpanBudgetNs {
+		t.Fatalf("Nop-monitor span overhead %.1fns/op exceeds budget %.1fns/op (BENCH_monitor.json)",
+			overhead, budget.NopSpanBudgetNs)
+	}
+	if allocs := nop.AllocsPerOp(); allocs != 0 {
+		t.Fatalf("Nop-monitor span path allocates (%d allocs/op)", allocs)
+	}
+}

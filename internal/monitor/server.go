@@ -1,0 +1,95 @@
+package monitor
+
+import (
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Server exposes a live monitoring source over HTTP so a running
+// experiment can be watched mid-flight (including mid-reconfiguration):
+//
+//	/metrics  human-readable point table with P50/P95/P99 per timing
+//	/trace    Chrome trace-event JSON of the buffered spans
+//	/spans    raw span list as JSON
+//	/report   the full machine-readable report
+//
+// The source callback is invoked per request, so every response is a
+// fresh snapshot; typical sources Merge the live writer- and reader-side
+// monitors.
+type Server struct {
+	src func() Report
+
+	mu  sync.Mutex
+	srv *http.Server
+	ln  net.Listener
+}
+
+// NewServer wraps a report source (never nil).
+func NewServer(src func() Report) *Server {
+	return &Server{src: src}
+}
+
+// Handler returns the endpoint mux, for embedding into an existing
+// server or httptest.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s.src().WriteTrace(w) //nolint:errcheck // client hang-up mid-write
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		s.src().WriteChromeTrace(w) //nolint:errcheck
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		rep := s.src()
+		rep.Timings, rep.Volumes, rep.Counts, rep.Gauges = nil, nil, nil, nil
+		rep.WriteJSON(w) //nolint:errcheck
+	})
+	mux.HandleFunc("/report", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		s.src().WriteJSON(w) //nolint:errcheck
+	})
+	return mux
+}
+
+// Start begins serving on addr ("127.0.0.1:0" picks a free port) and
+// returns the bound address. The server runs until Close.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	s.mu.Lock()
+	s.ln = ln
+	s.srv = srv
+	s.mu.Unlock()
+	go srv.Serve(ln) //nolint:errcheck // returns ErrServerClosed on Close
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound address ("" before Start).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	srv := s.srv
+	s.srv, s.ln = nil, nil
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}

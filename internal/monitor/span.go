@@ -1,0 +1,135 @@
+package monitor
+
+// Span is one timed stage of a timestep — a pack, a transport send, an
+// assemble, a plug-in execution — attributed to a step, session epoch and
+// rank, optionally linked to a parent span (the enclosing stage). Spans
+// from writer and reader monitors correlate by (Point ordering, Step,
+// Epoch): a single step can be followed pack → send → assemble → plug-in
+// across ranks. Timestamps are seconds on the owning monitor's Clock.
+type Span struct {
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
+	Point  string `json:"point"`
+	// Origin is the recording monitor's name (e.g. "writers"); it becomes
+	// the process lane in the Chrome trace export.
+	Origin string  `json:"origin,omitempty"`
+	Step   int64   `json:"step"`
+	Epoch  uint64  `json:"epoch,omitempty"`
+	Rank   int     `json:"rank"`
+	Start  float64 `json:"start"` // seconds on the monitor's clock
+	Dur    float64 `json:"dur"`   // seconds
+}
+
+// ActiveSpan is an in-flight span handle returned by StartSpan. It is a
+// small value type: copy it freely, call End exactly once. The zero
+// value (from a nil monitor) is a no-op.
+type ActiveSpan struct {
+	m  *Monitor
+	sp Span
+}
+
+// StartSpan opens a span at `point` for (step, rank), timestamped on the
+// monitor's clock. On a nil monitor it returns an inert handle and does
+// no work — the disabled-path cost is one branch.
+func (m *Monitor) StartSpan(point string, step int64, rank int) ActiveSpan {
+	if m == nil {
+		return ActiveSpan{}
+	}
+	m.mu.Lock()
+	m.nextSpanID++
+	id := m.nextSpanID
+	c := m.clock
+	m.mu.Unlock()
+	if c == nil {
+		c = wallClock{}
+	}
+	return ActiveSpan{m: m, sp: Span{
+		ID:    id,
+		Point: point,
+		Step:  step,
+		Rank:  rank,
+		Start: c.Now(),
+	}}
+}
+
+// SetParent links the span under an enclosing span's ID (chainable).
+func (s ActiveSpan) SetParent(id uint64) ActiveSpan {
+	s.sp.Parent = id
+	return s
+}
+
+// SetEpoch tags the span with the session epoch it ran under (chainable).
+func (s ActiveSpan) SetEpoch(epoch uint64) ActiveSpan {
+	s.sp.Epoch = epoch
+	return s
+}
+
+// SpanID returns the span's ID for parent links (0 on the no-op handle).
+func (s ActiveSpan) SpanID() uint64 { return s.sp.ID }
+
+// End closes the span: its duration lands in the ring buffer and is also
+// folded into the point's latency histogram, so every traced stage gets
+// P50/P95/P99 for free.
+func (s ActiveSpan) End() {
+	if s.m == nil {
+		return
+	}
+	m := s.m
+	sp := s.sp
+	m.mu.Lock()
+	c := m.clock
+	if c == nil {
+		c = wallClock{}
+	}
+	sp.Dur = c.Now() - sp.Start
+	sp.Origin = m.Name
+	m.recordSpanLocked(sp)
+	m.observeLocked(sp.Point, sp.Dur)
+	m.mu.Unlock()
+}
+
+// RecordSpan records a fully-formed span with explicit timestamps — the
+// path virtual-time simulators use to emit modeled stages. A zero ID is
+// assigned; an empty Origin takes the monitor's name. The duration is
+// folded into the point's histogram like an End'ed span.
+func (m *Monitor) RecordSpan(sp Span) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	if sp.ID == 0 {
+		m.nextSpanID++
+		sp.ID = m.nextSpanID
+	}
+	if sp.Origin == "" {
+		sp.Origin = m.Name
+	}
+	m.recordSpanLocked(sp)
+	m.observeLocked(sp.Point, sp.Dur)
+	m.mu.Unlock()
+}
+
+// recordSpanLocked appends to the bounded ring. Caller holds m.mu.
+func (m *Monitor) recordSpanLocked(sp Span) {
+	if m.spanCap <= 0 {
+		return
+	}
+	if len(m.spans) < m.spanCap {
+		m.spans = append(m.spans, sp)
+	} else {
+		m.spans[m.spanNext] = sp
+		m.spanNext = (m.spanNext + 1) % m.spanCap
+	}
+	m.spanSeen++
+}
+
+// snapshotSpansLocked copies the ring out oldest-first. Caller holds m.mu.
+func (m *Monitor) snapshotSpansLocked() []Span {
+	if len(m.spans) == 0 {
+		return nil
+	}
+	out := make([]Span, 0, len(m.spans))
+	out = append(out, m.spans[m.spanNext:]...)
+	out = append(out, m.spans[:m.spanNext]...)
+	return out
+}

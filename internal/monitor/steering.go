@@ -1,0 +1,116 @@
+package monitor
+
+import "sync"
+
+// Steering closes the paper's monitor → placement loop (Section II.G:
+// "monitoring data ... can be gathered online and transferred to the
+// analytics side [which] can then use it to dynamically schedule data
+// movement and decide the placement"): it consumes a stream of merged
+// per-epoch reports and fires when an observed interference signal stays
+// above a threshold for Patience consecutive epochs.
+//
+// The default signal is the ratio of the *per-epoch deltas* of two timing
+// points — an observed interval (Point, e.g. "sim.interval") over its
+// clean baseline (Baseline, e.g. "sim.compute"). Reports are cumulative,
+// so differencing consecutive reports isolates what the latest epoch
+// contributed; a ratio of 1.10 means the simulation's intervals ran 10%
+// over baseline during that epoch. A custom Signal callback replaces the
+// ratio entirely.
+type Steering struct {
+	// Point and Baseline name the timing points whose delta-mean ratio is
+	// the default interference signal.
+	Point    string
+	Baseline string
+	// Signal, when non-nil, replaces the default: it receives the latest
+	// cumulative report and returns the interference signal.
+	Signal func(Report) float64
+	// Threshold is the signal level that counts as interference.
+	Threshold float64
+	// Patience is how many consecutive epochs must exceed Threshold
+	// before the trigger fires (values < 1 behave as 1), so a single
+	// noisy epoch cannot flip the placement.
+	Patience int
+
+	mu      sync.Mutex
+	prev    Report
+	hasPrev bool
+	streak  int
+	fired   bool
+	last    float64
+	epochs  int64
+}
+
+// Observe feeds one merged per-epoch report. It returns true exactly
+// once: on the epoch the trigger first fires. Further reports keep
+// updating LastSignal but never re-fire.
+func (s *Steering) Observe(rep Report) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.epochs++
+	sig := s.signalLocked(rep)
+	s.last = sig
+	s.prev = rep
+	s.hasPrev = true
+	if s.fired {
+		return false
+	}
+	if sig > s.Threshold {
+		s.streak++
+	} else {
+		s.streak = 0
+	}
+	patience := s.Patience
+	if patience < 1 {
+		patience = 1
+	}
+	if s.streak >= patience {
+		s.fired = true
+		return true
+	}
+	return false
+}
+
+// signalLocked computes the interference signal for the latest epoch.
+func (s *Steering) signalLocked(rep Report) float64 {
+	if s.Signal != nil {
+		return s.Signal(rep)
+	}
+	cur, base := rep.Timings[s.Point], rep.Timings[s.Baseline]
+	var prevCur, prevBase TimingStat
+	if s.hasPrev {
+		prevCur = s.prev.Timings[s.Point]
+		prevBase = s.prev.Timings[s.Baseline]
+	}
+	dCurN := cur.Count - prevCur.Count
+	dBaseN := base.Count - prevBase.Count
+	if dCurN <= 0 || dBaseN <= 0 {
+		return 0
+	}
+	dCur := (cur.Total - prevCur.Total) / float64(dCurN)
+	dBase := (base.Total - prevBase.Total) / float64(dBaseN)
+	if dBase <= 0 {
+		return 0
+	}
+	return dCur / dBase
+}
+
+// Fired reports whether the trigger has fired.
+func (s *Steering) Fired() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fired
+}
+
+// LastSignal returns the most recently computed interference signal.
+func (s *Steering) LastSignal() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.last
+}
+
+// Epochs returns how many reports have been observed.
+func (s *Steering) Epochs() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epochs
+}

@@ -1,0 +1,95 @@
+package placement
+
+import (
+	"flexio/internal/graph"
+	"flexio/internal/monitor"
+)
+
+// Observed cost inputs (Section II.G): "monitoring data captured from the
+// simulation side can be gathered online ... to dynamically schedule data
+// movement and decide the placement". CostInputsFromReport distills a
+// merged per-epoch monitoring report into the quantities the allocation
+// policies (SyncAllocation, AsyncAllocation) and binding specs consume,
+// replacing the profiled a-priori estimates with live measurements.
+
+// CostInputs are the placement cost-model inputs observed at runtime.
+type CostInputs struct {
+	// BytesPerStep is the observed inter-program stream volume per
+	// timestep ("data.bytes" over the steps the report covers).
+	BytesPerStep float64
+	// SimSlowdown is the observed inflation of the simulation interval
+	// relative to its interference-free baseline (>= 1; 1 = no observed
+	// interference). Derived from the "sim.interval" vs "sim.compute"
+	// mean latencies when both are present.
+	SimSlowdown float64
+	// AnaStepTime is the tail (p95) analytics step latency in seconds
+	// ("analysis" point) — the conservative input for SyncAllocation.
+	AnaStepTime float64
+	// Epoch is the session epoch the report covers ("session.epoch"
+	// gauge; merged reports keep the max across ranks).
+	Epoch uint64
+}
+
+// CostInputsFromReport folds a monitoring report covering `steps`
+// timesteps into cost inputs. Zero-valued fields mean the report lacked
+// the corresponding measurement.
+func CostInputsFromReport(rep monitor.Report, steps int64) CostInputs {
+	if steps <= 0 {
+		steps = 1
+	}
+	in := CostInputs{
+		BytesPerStep: float64(rep.Volumes["data.bytes"]) / float64(steps),
+		SimSlowdown:  1,
+	}
+	if base, ok := rep.Timings["sim.compute"]; ok && base.Count > 0 {
+		if infl, ok2 := rep.Timings["sim.interval"]; ok2 && infl.Count > 0 {
+			if ratio := infl.Mean() / base.Mean(); ratio > 1 {
+				in.SimSlowdown = ratio
+			}
+		}
+	}
+	if ana, ok := rep.Timings["analysis"]; ok && ana.Count > 0 {
+		in.AnaStepTime = ana.P95()
+	}
+	if e := rep.Gauges["session.epoch"]; e > 0 {
+		in.Epoch = uint64(e)
+	}
+	return in
+}
+
+// ReweightInterProgram returns a copy of a placement spec's comm graph
+// with every sim<->analytics edge rescaled so the inter-program traffic
+// matches the observed bytes per step, keeping the original relative
+// distribution across pairs. Internal (sim-sim, ana-ana) edges are
+// untouched. A zero observation or an edgeless graph returns the graph
+// unchanged.
+func ReweightInterProgram(spec *Spec, in CostInputs) *graph.Graph {
+	g := spec.Comm
+	if g == nil || in.BytesPerStep <= 0 {
+		return g
+	}
+	var interTotal float64
+	for u := 0; u < spec.NSim; u++ {
+		for v := spec.NSim; v < g.N; v++ {
+			interTotal += g.Weight(u, v)
+		}
+	}
+	if interTotal <= 0 {
+		return g
+	}
+	scale := in.BytesPerStep / interTotal
+	out := graph.New(g.N)
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.Neighbors(u) {
+			if v <= u {
+				continue
+			}
+			w := g.Weight(u, v)
+			if u < spec.NSim && v >= spec.NSim {
+				w *= scale
+			}
+			out.AddEdge(u, v, w)
+		}
+	}
+	return out
+}

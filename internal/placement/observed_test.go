@@ -1,0 +1,68 @@
+package placement
+
+import (
+	"math"
+	"testing"
+
+	"flexio/internal/graph"
+	"flexio/internal/machine"
+	"flexio/internal/monitor"
+)
+
+func TestCostInputsFromReport(t *testing.T) {
+	m := monitor.New("merged")
+	m.AddVolume("data.bytes", 40<<20) // 4 steps of 10 MiB
+	for i := 0; i < 4; i++ {
+		m.Observe("sim.compute", 1.0)
+		m.Observe("sim.interval", 1.3)
+		m.Observe("analysis", 0.4)
+	}
+	m.Set("session.epoch", 2)
+
+	in := CostInputsFromReport(m.Snapshot(), 4)
+	if want := float64(10 << 20); in.BytesPerStep != want {
+		t.Fatalf("BytesPerStep = %v, want %v", in.BytesPerStep, want)
+	}
+	if math.Abs(in.SimSlowdown-1.3) > 1e-9 {
+		t.Fatalf("SimSlowdown = %v, want 1.3", in.SimSlowdown)
+	}
+	// P95 of four identical samples sits in the sample's bucket band.
+	if in.AnaStepTime < 0.2 || in.AnaStepTime > 0.8 {
+		t.Fatalf("AnaStepTime = %v, want ~0.4", in.AnaStepTime)
+	}
+	if in.Epoch != 2 {
+		t.Fatalf("Epoch = %d, want 2", in.Epoch)
+	}
+
+	// Defaults when the report lacks the measurements.
+	empty := CostInputsFromReport(monitor.Report{}, 0)
+	if empty.SimSlowdown != 1 || empty.BytesPerStep != 0 || empty.AnaStepTime != 0 {
+		t.Fatalf("empty-report inputs: %+v", empty)
+	}
+}
+
+func TestReweightInterProgram(t *testing.T) {
+	mach := machine.Titan(2)
+	// 2 sim + 2 ana; a-priori estimate: each sim sends 100 B to its ana.
+	g := graph.New(4)
+	g.AddEdge(0, 1, 50) // sim-sim internal MPI
+	g.AddEdge(0, 2, 100)
+	g.AddEdge(1, 3, 100)
+	spec := &Spec{Machine: mach, NSim: 2, NAna: 2, SimThreads: 1, Comm: g}
+
+	// Observed: the stream actually moves 400 B/step (2x the estimate).
+	out := ReweightInterProgram(spec, CostInputs{BytesPerStep: 400})
+	if w := out.Weight(0, 2); w != 200 {
+		t.Fatalf("inter edge 0-2 = %v, want 200", w)
+	}
+	if w := out.Weight(1, 3); w != 200 {
+		t.Fatalf("inter edge 1-3 = %v, want 200", w)
+	}
+	if w := out.Weight(0, 1); w != 50 {
+		t.Fatalf("internal edge rescaled: %v, want 50", w)
+	}
+	// No observation: the graph passes through untouched.
+	if same := ReweightInterProgram(spec, CostInputs{}); same != g {
+		t.Fatal("zero observation must return the original graph")
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"flexio/internal/machine"
+	"flexio/internal/monitor"
 )
 
 // Common errors.
@@ -64,6 +65,7 @@ type Fabric struct {
 	nextH     Handle
 	regions   map[Handle]*MemRegion
 	endpoints map[string]*Endpoint
+	mon       *monitor.Monitor // attached via SetMonitor; nil = off
 }
 
 // NewFabric creates a fabric with the given interconnect cost model.
@@ -169,7 +171,9 @@ func (ep *Endpoint) RegisterMemory(buf []byte) (*MemRegion, float64, error) {
 	r := &MemRegion{h: f.nextH, buf: buf, owner: ep, active: true}
 	f.nextH++
 	f.regions[r.h] = r
-	return r, f.RegCost(len(buf)), nil
+	cost := f.RegCost(len(buf))
+	observeVerb(f.mon, "rdma.reg", cost, len(buf))
+	return r, cost, nil
 }
 
 // UnregisterMemory removes the registration. Further fabric access through
@@ -217,7 +221,9 @@ func (ep *Endpoint) Get(remote Handle, remoteOff int, local *MemRegion, localOff
 		return 0, fmt.Errorf("%w: local [%d,%d) of %d", ErrOutOfBounds, localOff, localOff+n, len(local.buf))
 	}
 	copy(local.buf[localOff:localOff+n], src.buf[remoteOff:remoteOff+n])
-	return ep.fab.XferCost(n), nil
+	cost := ep.fab.XferCost(n)
+	observeVerb(ep.fab.monitor(), "rdma.get", cost, n)
+	return cost, nil
 }
 
 // Put writes n bytes from the local registered region into the remote one
@@ -237,7 +243,9 @@ func (ep *Endpoint) Put(local *MemRegion, localOff int, remote Handle, remoteOff
 		return 0, fmt.Errorf("%w: remote [%d,%d) of %d", ErrOutOfBounds, remoteOff, remoteOff+n, len(dst.buf))
 	}
 	copy(dst.buf[remoteOff:remoteOff+n], local.buf[localOff:localOff+n])
-	return ep.fab.XferCost(n), nil
+	cost := ep.fab.XferCost(n)
+	observeVerb(ep.fab.monitor(), "rdma.put", cost, n)
+	return cost, nil
 }
 
 // SendMsg delivers a small message into the peer's message queue (the
@@ -254,7 +262,9 @@ func (ep *Endpoint) SendMsg(peer *Endpoint, msg []byte) (float64, error) {
 	copy(cp, msg)
 	select {
 	case peer.msgQ <- cp:
-		return ep.fab.XferCost(len(msg)), nil
+		cost := ep.fab.XferCost(len(msg))
+		observeVerb(ep.fab.monitor(), "rdma.sendmsg", cost, len(msg))
+		return cost, nil
 	default:
 		return 0, ErrQueueFull
 	}

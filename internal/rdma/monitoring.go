@@ -1,0 +1,28 @@
+package rdma
+
+import "flexio/internal/monitor"
+
+// SetMonitor attaches a performance monitor to the fabric: from then on
+// every verb folds its *modeled* cost into the monitor's latency
+// histograms ("rdma.reg", "rdma.get", "rdma.put", "rdma.sendmsg") and
+// counts the bytes each verb moved. A nil monitor detaches.
+func (f *Fabric) SetMonitor(m *monitor.Monitor) {
+	f.mu.Lock()
+	f.mon = m
+	f.mu.Unlock()
+}
+
+// monitor returns the attached monitor (nil when monitoring is off).
+func (f *Fabric) monitor() *monitor.Monitor {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.mon
+}
+
+// observeVerb records one verb's modeled cost and payload size. All
+// monitor methods are nil-safe, so callers pass the result of monitor()
+// straight through.
+func observeVerb(m *monitor.Monitor, verb string, cost float64, n int) {
+	m.Observe(verb, cost)
+	m.AddVolume(verb+".bytes", int64(n))
+}

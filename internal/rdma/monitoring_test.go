@@ -1,0 +1,64 @@
+package rdma
+
+import (
+	"testing"
+
+	"flexio/internal/machine"
+	"flexio/internal/monitor"
+)
+
+func TestFabricObservesVerbCosts(t *testing.T) {
+	f := NewFabric(machine.Titan(2).Net)
+	m := monitor.New("fabric")
+	f.SetMonitor(m)
+
+	a, err := f.Attach("a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.Attach("b", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, regCost, err := a.RegisterMemory(make([]byte, 8192))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, _, err := b.RegisterMemory(make([]byte, 8192))
+	if err != nil {
+		t.Fatal(err)
+	}
+	getCost, err := b.Get(src.Handle(), 0, dst, 0, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Put(src, 0, dst.Handle(), 0, 1024); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.SendMsg(b, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := m.Snapshot()
+	if got := rep.Timings["rdma.reg"]; got.Count != 2 || got.Total != 2*regCost {
+		t.Fatalf("rdma.reg: %+v (regCost %v)", got, regCost)
+	}
+	if got := rep.Timings["rdma.get"]; got.Count != 1 || got.Total != getCost {
+		t.Fatalf("rdma.get: %+v", got)
+	}
+	if rep.Timings["rdma.put"].Count != 1 || rep.Timings["rdma.sendmsg"].Count != 1 {
+		t.Fatalf("put/sendmsg not observed: %+v", rep.Timings)
+	}
+	if rep.Volumes["rdma.get.bytes"] != 4096 || rep.Volumes["rdma.put.bytes"] != 1024 {
+		t.Fatalf("verb volumes: %+v", rep.Volumes)
+	}
+
+	// Detaching the monitor stops observation without breaking verbs.
+	f.SetMonitor(nil)
+	if _, err := b.Get(src.Handle(), 0, dst, 0, 64); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Snapshot().Timings["rdma.get"].Count; got != 1 {
+		t.Fatalf("detached monitor still observed: count %d", got)
+	}
+}

@@ -1,0 +1,19 @@
+package shm
+
+import "flexio/internal/monitor"
+
+// ReportTo publishes the channel's cumulative counters into a monitor as
+// gauges under the given prefix (e.g. "shm.ch0."). Gauges merge with
+// max-semantics across reports, so republishing a growing counter is
+// idempotent — call it from a metrics poll loop as often as needed.
+func (c *Channel) ReportTo(m *monitor.Monitor, prefix string) {
+	if m == nil {
+		return
+	}
+	st := c.Stats()
+	m.Set(prefix+"msgs", st.MessagesSent)
+	m.Set(prefix+"bytes", st.BytesSent)
+	m.Set(prefix+"inline", st.InlineSends)
+	m.Set(prefix+"pooled", st.PooledSends)
+	m.Set(prefix+"zerocopy", st.ZeroCopySends)
+}

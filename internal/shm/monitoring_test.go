@@ -1,0 +1,44 @@
+package shm
+
+import (
+	"testing"
+
+	"flexio/internal/monitor"
+)
+
+func TestChannelReportTo(t *testing.T) {
+	c, err := NewChannel(8, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if !c.Send(make([]byte, 16)) { // inline
+		t.Fatal("inline send failed")
+	}
+	if !c.Send(make([]byte, 4096)) { // pooled
+		t.Fatal("pooled send failed")
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok := c.Recv(nil); !ok {
+			t.Fatal("recv failed")
+		}
+	}
+
+	m := monitor.New("transport")
+	c.ReportTo(m, "shm.")
+	rep := m.Snapshot()
+	if rep.Gauges["shm.msgs"] != 2 || rep.Gauges["shm.bytes"] != 16+4096 {
+		t.Fatalf("gauges: %+v", rep.Gauges)
+	}
+	if rep.Gauges["shm.inline"] != 1 || rep.Gauges["shm.pooled"] != 1 {
+		t.Fatalf("mechanism gauges: %+v", rep.Gauges)
+	}
+	// Republishing after more traffic only moves gauges forward (merge
+	// keeps the max), and a nil monitor is a no-op.
+	c.Send(make([]byte, 8))
+	c.ReportTo(m, "shm.")
+	if got := m.Snapshot().Gauges["shm.msgs"]; got != 3 {
+		t.Fatalf("republished msgs gauge = %d, want 3", got)
+	}
+	c.ReportTo(nil, "shm.")
+}
