@@ -1,18 +1,20 @@
 GO ?= go
 
-.PHONY: check ci fmt vet build test race bench reconfig trace
+.PHONY: check ci fmt vet build test race bench reconfig trace critpath replay
 
 ## check: everything a PR must pass — formatting, vet, build, race tests.
 check: fmt vet build race
 
 ## ci: the continuous-integration gate — vet, build, full race-detector
-## run, plus the monitoring Nop-overhead benchmark gate (budget in
-## BENCH_monitor.json; runs without -race so the measurement is honest).
+## run, plus the Nop-overhead benchmark gates (budgets in
+## BENCH_monitor.json / BENCH_flight.json; both run without -race so the
+## measurements are honest).
 ci:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(GO) test -run TestNopOverheadBudget -count=1 ./internal/monitor/
+	$(GO) test -run TestFlightNopOverheadBudget -count=1 ./internal/flight/
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -64,3 +66,17 @@ reconfig:
 ## metrics.json, with live /metrics served during the run.
 trace:
 	$(GO) run ./cmd/flexbench -exp trace -metrics 127.0.0.1:0
+
+## critpath: flight-recorder walkthrough — journals the switched coupled
+## run, extracts each step's critical path (edges must sum to the step's
+## span envelope within 5%), writes journal.json + critpath.json, and
+## refreshes the recorder micro-benchmarks in BENCH_flight.json while
+## preserving the committed nop budget.
+critpath:
+	$(GO) run ./cmd/flexbench -exp critpath
+
+## replay: determinism check — re-runs the journaled scenario from the
+## same configuration and diffs the event streams; exits non-zero on any
+## divergence. `make replay PERTURB=-perturb` injects one and must fail.
+replay:
+	$(GO) run ./cmd/flexbench -exp replay $(PERTURB)

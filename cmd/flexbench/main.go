@@ -20,8 +20,10 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	metrics := flag.String("metrics", "", "serve live monitoring over HTTP at host:port during the trace experiment (e.g. 127.0.0.1:8123)")
+	perturb := flag.Bool("perturb", false, "inject a model perturbation into the replay experiment's second run (must be detected as a divergence)")
 	flag.Parse()
 	experiment.SetMetricsAddr(*metrics)
+	experiment.SetReplayPerturb(*perturb)
 
 	if *list {
 		for _, id := range experiment.IDs() {

@@ -1,0 +1,32 @@
+package core
+
+import (
+	"flexio/internal/flight"
+	"flexio/internal/shm"
+)
+
+// Flight-recorder attachment for the real data plane. The journaled
+// chain mirrors the span chain of PR 4 — writer.flush → writer.pack →
+// send.<transport> → reader.accept → reader.assemble — with explicit
+// causal parents on the writer side, so critical-path analysis works on
+// live streams too. Core streams are multi-goroutine: their journals
+// feed critpath and trace export, but (unlike the virtual-time coupled
+// model) their event order is not replay-deterministic, so replay
+// hashing only covers the simulated runs.
+
+// SetJournal attaches a flight recorder to the writer group. Call it
+// before the first EndStep; the data plane reads the field without a
+// lock on the flush path.
+func (g *WriterGroup) SetJournal(j *flight.Journal) { g.journal = j }
+
+// SetJournal attaches a flight recorder to the reader group. Call it
+// before reading begins.
+func (g *ReaderGroup) SetJournal(j *flight.Journal) { g.journal = j }
+
+// AsmPoolStats exposes the assembly-buffer pool counters: after the
+// application returns every ReadArray buffer via ReleaseArray,
+// BytesInUse drains to zero while HighWater keeps the peak.
+func (g *ReaderGroup) AsmPoolStats() shm.PoolStats { return g.asmPool.Stats() }
+
+// PayloadPoolStats exposes the writer-side payload pool counters.
+func (g *WriterGroup) PayloadPoolStats() shm.PoolStats { return g.payloadPool.Stats() }

@@ -220,12 +220,20 @@ func TestReadArrayReleaseReuse(t *testing.T) {
 		t.Fatal(err)
 	}
 	rg.Close()
-	stats := rg.asmPool.Stats()
+	stats := rg.AsmPoolStats()
 	if stats.Reuses < steps-1 {
 		t.Fatalf("assembly pool reuses = %d, want >= %d", stats.Reuses, steps-1)
 	}
 	if stats.Allocs != 1 {
 		t.Fatalf("assembly pool allocs = %d, want 1", stats.Allocs)
+	}
+	// Every buffer came back through ReleaseArray, so occupancy drains to
+	// zero while the high-water mark keeps the peak.
+	if stats.BytesInUse != 0 {
+		t.Fatalf("assembly pool holds %d bytes after full release", stats.BytesInUse)
+	}
+	if stats.HighWater < 16*16*8 {
+		t.Fatalf("assembly pool high-water = %d, want >= one step buffer", stats.HighWater)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"flexio/internal/dcplugin"
 	"flexio/internal/directory"
 	"flexio/internal/evpath"
+	"flexio/internal/flight"
 	"flexio/internal/monitor"
 	"flexio/internal/ndarray"
 	"flexio/internal/shm"
@@ -29,6 +30,7 @@ type ReaderGroup struct {
 	net      *evpath.Net
 	dir      directory.Directory
 	mon      *monitor.Monitor
+	journal  *flight.Journal // attached via SetJournal; nil = off
 	sess     *session
 
 	readers   []*Reader
@@ -349,6 +351,13 @@ func (g *ReaderGroup) acceptData(r int, ev *evpath.Event) {
 		g.mon.Incr("data.msgs.recv", 1)
 		g.mon.AddVolume("data.bytes.recv", int64(len(ev.Data)))
 	}
+	if j := g.journal; j != nil {
+		j.Record(flight.Event{
+			Kind: flight.KindRecv, Point: "reader.accept",
+			Rank: r, Step: step, Epoch: g.sess.Epoch(),
+			T: j.Now(), Bytes: int64(len(ev.Data)),
+		})
+	}
 }
 
 // step returns (creating if needed) the state for a timestep. Caller
@@ -518,6 +527,11 @@ func (r *Reader) ReadArray(name string) ([]byte, ndarray.Box, error) {
 	box := sel[r.Rank]
 	sp := g.mon.StartSpan("reader.assemble", r.curStep, r.Rank).SetEpoch(g.sess.Epoch())
 	defer sp.End()
+	asmEv := g.journal.Begin(flight.Event{
+		Kind: flight.KindCompute, Point: "reader.assemble",
+		Rank: r.Rank, Step: r.curStep, Epoch: g.sess.Epoch(),
+	})
+	defer g.journal.End(asmEv)
 	if r.inReplay {
 		return r.readReplayArray(name, box)
 	}

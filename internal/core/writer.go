@@ -8,6 +8,7 @@ import (
 
 	"flexio/internal/directory"
 	"flexio/internal/evpath"
+	"flexio/internal/flight"
 	"flexio/internal/monitor"
 	"flexio/internal/ndarray"
 	"flexio/internal/shm"
@@ -31,6 +32,7 @@ type WriterGroup struct {
 	net      *evpath.Net
 	dir      directory.Directory
 	mon      *monitor.Monitor
+	journal  *flight.Journal // attached via SetJournal; nil = off
 	sess     *session
 
 	writers []*Writer
@@ -313,10 +315,13 @@ func distFingerprint(metaByRank map[int][]varData, name string, nWriters int) st
 // stepTrace carries the correlation attributes every span opened on one
 // timestep's data path shares: the session epoch and the id of the
 // enclosing writer.flush span, so a Chrome trace links pack → send →
-// assemble → plug-in events across ranks.
+// assemble → plug-in events across ranks. jparent is the same link for
+// the flight journal: the flush event every pack/send event descends
+// from, which is what lets the critical-path extractor chain them.
 type stepTrace struct {
-	epoch  uint64
-	parent uint64
+	epoch   uint64
+	parent  uint64
+	jparent flight.EventID
 }
 
 // flush performs the per-step protocol: apply a parked reconfiguration
@@ -332,7 +337,12 @@ func (g *WriterGroup) flush(ps *pendingStep) error {
 	}
 	flushSpan := g.mon.StartSpan("writer.flush", ps.step, 0).SetEpoch(g.sess.Epoch())
 	defer flushSpan.End()
-	tr := stepTrace{epoch: g.sess.Epoch(), parent: flushSpan.SpanID()}
+	flushEv := g.journal.Begin(flight.Event{
+		Kind: flight.KindCompute, Point: "writer.flush",
+		Step: ps.step, Epoch: g.sess.Epoch(),
+	})
+	defer g.journal.End(flushEv)
+	tr := stepTrace{epoch: g.sess.Epoch(), parent: flushSpan.SpanID(), jparent: flushEv}
 	g.selMu.Lock()
 	readerGone := g.readerClosed
 	g.selMu.Unlock()
@@ -447,7 +457,12 @@ func (g *WriterGroup) sendPerVariable(ps *pendingStep, sel readerSelections, tr 
 		}()
 		for _, v := range ps.vars[w] {
 			packSpan := g.mon.StartSpan("writer.pack", ps.step, w).SetEpoch(tr.epoch).SetParent(tr.parent)
+			packEv := g.journal.Begin(flight.Event{
+				Kind: flight.KindCompute, Point: "writer.pack",
+				Rank: w, Step: ps.step, Epoch: tr.epoch, Parent: tr.jparent,
+			})
 			pieces, err := g.piecesFor(ps.step, w, v, sel, &pooled)
+			g.journal.End(packEv)
 			packSpan.End()
 			if err != nil {
 				return err
@@ -507,7 +522,12 @@ func (g *WriterGroup) sendBatched(ps *pendingStep, sel readerSelections, tr step
 		perReader := make(map[int][]*evpath.Event)
 		for _, v := range ps.vars[w] {
 			packSpan := g.mon.StartSpan("writer.pack", ps.step, w).SetEpoch(tr.epoch).SetParent(tr.parent)
+			packEv := g.journal.Begin(flight.Event{
+				Kind: flight.KindCompute, Point: "writer.pack",
+				Rank: w, Step: ps.step, Epoch: tr.epoch, Parent: tr.jparent,
+			})
 			pieces, err := g.piecesFor(ps.step, w, v, sel, &pooled)
+			g.journal.End(packEv)
 			packSpan.End()
 			if err != nil {
 				return err
@@ -646,7 +666,17 @@ func (g *WriterGroup) sendEvent(w, r int, ev *evpath.Event, step int64, tr stepT
 	if g.mon != nil { // guard: span name concat must not run on the nil path
 		sendSpan = g.mon.StartSpan("send."+conn.Transport(), step, w).SetEpoch(tr.epoch).SetParent(tr.parent)
 	}
+	var sendEv flight.EventID
+	if g.journal != nil { // same guard for the channel-name formatting
+		sendEv = g.journal.Begin(flight.Event{
+			Kind: flight.KindSend, Point: "send." + conn.Transport(),
+			Channel: fmt.Sprintf("w%d>r%d", w, r),
+			Rank:    w, Step: step, Epoch: tr.epoch, Parent: tr.jparent,
+			Bytes: int64(len(buf)),
+		})
+	}
 	err = g.sendWithRetry(conn, buf)
+	g.journal.End(sendEv)
 	sendSpan.End()
 	if err != nil {
 		return err

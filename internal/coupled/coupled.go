@@ -27,6 +27,7 @@ import (
 
 	"flexio/internal/cachesim"
 	"flexio/internal/core"
+	"flexio/internal/flight"
 	"flexio/internal/machine"
 	"flexio/internal/monitor"
 	"flexio/internal/placement"
@@ -116,6 +117,13 @@ type Config struct {
 	MonBase  float64
 	MonStep  int
 	MonEpoch uint64
+
+	// Journal, when non-nil, additionally receives the per-step causal
+	// event chain (sim.compute → sim.io → analysis, parent-linked) on the
+	// same virtual timeline as the spans. The model is a single-threaded
+	// discrete-event computation, so two runs of the same Config produce
+	// byte-identical journals — the invariant the replay checker tests.
+	Journal *flight.Journal
 }
 
 // Phases is the Figure 7 breakdown, per I/O interval (averaged).
@@ -223,6 +231,7 @@ func Run(cfg Config) (Result, error) {
 		res.SimSlowdown = interval / (simCompute + simMPI)
 		res.CPUHours = float64(res.NodesUsed) * res.TotalTime / 3600
 		recordStepSpans(cfg, interval, res.Phases)
+		recordStepEvents(cfg, interval, res.Phases)
 		return res, nil
 	}
 
@@ -245,6 +254,7 @@ func Run(cfg Config) (Result, error) {
 		res.SimSlowdown = interval / (simCompute + simMPI)
 		res.CPUHours = float64(res.NodesUsed) * res.TotalTime / 3600
 		recordStepSpans(cfg, interval, res.Phases)
+		recordStepEvents(cfg, interval, res.Phases)
 		return res, nil
 	}
 
@@ -303,6 +313,7 @@ func Run(cfg Config) (Result, error) {
 	res.TotalTime = float64(cfg.Steps)*interval + drain
 	res.CPUHours = float64(res.NodesUsed) * res.TotalTime / 3600
 	recordStepSpans(cfg, interval, res.Phases)
+	recordStepEvents(cfg, interval, res.Phases)
 	return res, nil
 }
 
@@ -336,6 +347,49 @@ func recordStepSpans(cfg Config, interval float64, ph Phases) {
 			cfg.Mon.RecordSpan(monitor.Span{
 				Point: "analysis", Step: step, Epoch: epoch,
 				Start: base + ph.SimCompute + ph.SimVisIO, Dur: ph.Analysis,
+			})
+		}
+	}
+}
+
+// recordStepEvents mirrors recordStepSpans into the flight journal: each
+// step's phases become a parent-linked causal chain — sim.compute, then
+// the sim-visible I/O (a send), then the analytics stage — laid out on
+// the same virtual timeline as the spans. Because the chain is purely
+// sequential, the step's critical path covers the whole envelope and its
+// edge durations sum exactly to the span-measured interval, which is the
+// invariant the critpath driver gates at 5%.
+func recordStepEvents(cfg Config, interval float64, ph Phases) {
+	j := cfg.Journal
+	if j == nil {
+		return
+	}
+	epoch := cfg.MonEpoch
+	if epoch == 0 {
+		epoch = 1
+	}
+	for s := 0; s < cfg.Steps; s++ {
+		step := int64(cfg.MonStep + s)
+		base := cfg.MonBase + float64(s)*interval
+		parent := j.Record(flight.Event{
+			Kind: flight.KindCompute, Point: "sim.compute",
+			Rank: 0, Step: step, Epoch: epoch,
+			T: base, Dur: ph.SimCompute,
+		})
+		t := base + ph.SimCompute
+		if ph.SimVisIO > 0 {
+			parent = j.Record(flight.Event{
+				Kind: flight.KindSend, Point: "sim.io", Channel: "sim>ana",
+				Rank: 0, Step: step, Epoch: epoch, Parent: parent,
+				T: t, Dur: ph.SimVisIO,
+			})
+			t += ph.SimVisIO
+		}
+		if ph.Analysis > 0 {
+			j.Record(flight.Event{
+				Kind: flight.KindCompute, Point: "analysis",
+				Rank: 1, Step: step, Epoch: epoch, Parent: parent,
+				T: t, Dur: ph.Analysis,
 			})
 		}
 	}

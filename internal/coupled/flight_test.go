@@ -1,0 +1,172 @@
+package coupled_test
+
+import (
+	"strings"
+	"testing"
+
+	. "flexio/internal/coupled"
+	"flexio/internal/flight"
+	"flexio/internal/machine"
+	"flexio/internal/monitor"
+)
+
+// runSwitchedJournal executes the helper-core -> staging switched run
+// with a fresh flight recorder; scale perturbs the per-process output
+// volume (1 = the canonical scenario).
+func runSwitchedJournal(t *testing.T, scale float64) *flight.Journal {
+	t.Helper()
+	m := machine.Smoky(2)
+	app := gtsApp()
+	app.OutputBytesPerProc *= scale
+	helper, staging := steerPlacements(t, m)
+	j := flight.NewJournal(0)
+	const steps = 10
+	if _, err := RunSwitched(SwitchConfig{
+		First:      Config{App: app, Place: helper, Steps: steps},
+		Second:     Config{App: app, Place: staging, Steps: steps},
+		TotalSteps: steps,
+		SwitchAt:   5,
+		Journal:    j,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// TestSwitchedJournalIsDeterministic is the replay invariant: two runs
+// of the same configuration journal byte-identical event streams, and
+// any model change shows up as a detected divergence.
+func TestSwitchedJournalIsDeterministic(t *testing.T) {
+	a := runSwitchedJournal(t, 1)
+	b := runSwitchedJournal(t, 1)
+	if a.Seen() == 0 {
+		t.Fatal("switched run journaled no events")
+	}
+	if a.Hash() != b.Hash() {
+		t.Fatalf("identical configs hash %016x vs %016x", a.Hash(), b.Hash())
+	}
+	if d := flight.Diff(a.Snapshot(), b.Snapshot()); d != nil {
+		t.Fatalf("identical configs diverge: %v", d)
+	}
+
+	c := runSwitchedJournal(t, 1.001)
+	if a.Hash() == c.Hash() {
+		t.Fatal("perturbed run must change the stream hash")
+	}
+	d := flight.Diff(a.Snapshot(), c.Snapshot())
+	if d == nil {
+		t.Fatal("perturbed run must produce a locatable divergence")
+	}
+	if !strings.Contains(d.Error(), "divergence at event") {
+		t.Fatalf("divergence message %q lacks location", d.Error())
+	}
+}
+
+// TestSwitchedJournalMarksReconfig: the journal shows the epoch seam —
+// a "reconfig" mark between the two regimes, and events on both epochs.
+func TestSwitchedJournalMarksReconfig(t *testing.T) {
+	j := runSwitchedJournal(t, 1)
+	epochs := map[uint64]bool{}
+	var seam *flight.Event
+	for _, ev := range j.Snapshot() {
+		epochs[ev.Epoch] = true
+		if ev.Point == "reconfig" {
+			e := ev
+			seam = &e
+		}
+	}
+	if !epochs[1] || !epochs[2] {
+		t.Fatalf("journal must span both epochs, got %v", epochs)
+	}
+	if seam == nil {
+		t.Fatal("no reconfig mark journaled")
+	}
+	if seam.Kind != flight.KindMark || seam.Epoch != 2 || seam.Step != 5 || seam.Dur <= 0 {
+		t.Fatalf("reconfig mark = %+v", *seam)
+	}
+}
+
+// TestSteeredCostInputsCarryCriticalPath: the steered run folds the
+// journaled critical-path shares into the placement cost inputs — the
+// "observed shares steer the next placement" hook.
+func TestSteeredCostInputsCarryCriticalPath(t *testing.T) {
+	m := machine.Smoky(2)
+	app := gtsApp()
+	helper, staging := steerPlacements(t, m)
+
+	const steps = 10
+	mon := monitor.New("steer")
+	j := flight.NewJournal(0)
+	out, err := RunSteered(SteerConfig{
+		First:          Config{App: app, Place: helper, Steps: steps},
+		Second:         Config{App: app, Place: staging, Steps: steps},
+		TotalSteps:     steps,
+		AnaFootprintAt: func(s int) int64 { return int64(s) * 600_000 },
+		Threshold:      1.02,
+		Patience:       2,
+		Mon:            mon,
+		Journal:        j,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Switched {
+		t.Fatalf("scenario must switch; signals %v", out.Signals)
+	}
+	in := out.CostInputs
+	if len(in.PathShares) == 0 || in.Dominant == "" {
+		t.Fatalf("cost inputs lack critical-path shares: %+v", in)
+	}
+	var sum float64
+	for _, s := range in.PathShares {
+		sum += s
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("path shares sum to %f, want ~1", sum)
+	}
+	if in.PathShares[in.Dominant] < in.PathShares["sim.io"] {
+		t.Fatalf("dominant %q share %f below sim.io %f",
+			in.Dominant, in.PathShares[in.Dominant], in.PathShares["sim.io"])
+	}
+	// This scenario is compute-bound, so movement owns a minority share.
+	if ts := in.TransportShare(); ts <= 0 || ts >= 0.5 {
+		t.Fatalf("transport share = %f, want small positive", ts)
+	}
+}
+
+// TestSteeredRequireDominantSuppressesSwitch: with the critical-path
+// gate demanding a movement-dominated step, the compute-bound scenario's
+// interference trigger is vetoed and the run stays under First.
+func TestSteeredRequireDominantSuppressesSwitch(t *testing.T) {
+	m := machine.Smoky(2)
+	app := gtsApp()
+	helper, staging := steerPlacements(t, m)
+
+	const steps = 10
+	cfg := SteerConfig{
+		First:          Config{App: app, Place: helper, Steps: steps},
+		Second:         Config{App: app, Place: staging, Steps: steps},
+		TotalSteps:     steps,
+		AnaFootprintAt: func(s int) int64 { return int64(s) * 600_000 },
+		Threshold:      1.02,
+		Patience:       2,
+	}
+
+	cfg.RequireDominant = "sim.io" // movement never dominates here
+	out, err := RunSteered(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Switched || !out.Suppressed {
+		t.Fatalf("switch must be vetoed: switched=%v suppressed=%v", out.Switched, out.Suppressed)
+	}
+
+	cfg.RequireDominant = "sim.compute" // matches the probe's dominant
+	out, err = RunSteered(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Switched || out.Suppressed {
+		t.Fatalf("matching gate must let the switch fire: switched=%v suppressed=%v", out.Switched, out.Suppressed)
+	}
+}

@@ -3,7 +3,9 @@ package coupled
 import (
 	"fmt"
 
+	"flexio/internal/flight"
 	"flexio/internal/monitor"
+	"flexio/internal/placement"
 )
 
 // Observation-driven re-placement (Section II.G): instead of scripting
@@ -38,6 +40,21 @@ type SteerConfig struct {
 	// observations and, after the decision, the full run's phase spans
 	// (via RunSwitched or Run).
 	Mon *monitor.Monitor
+
+	// Journal, when non-nil, receives the chosen execution's causal
+	// step events; RunSteered analyzes them afterwards and folds the
+	// critical-path shares into SteerResult.CostInputs.
+	Journal *flight.Journal
+
+	// RequireDominant, when non-empty, adds a flight-recorder gate to
+	// the interference trigger: before committing to the switch,
+	// RunSteered journals a short probe of the First regime and only
+	// re-places if the probe's critical path is dominated by the named
+	// point (e.g. "sim.io" — switch only when movement, not compute,
+	// owns the step). This keeps a noisy interference signal from
+	// paying the reconfiguration cost when the critical path says the
+	// new regime cannot help.
+	RequireDominant string
 }
 
 // SteerResult is the outcome of a steered run.
@@ -53,6 +70,13 @@ type SteerResult struct {
 	// Signals is the per-step interference signal the steering loop saw
 	// (observed interval / baseline), for plotting and tests.
 	Signals []float64
+	// Suppressed reports that the interference trigger fired but the
+	// RequireDominant critical-path gate vetoed the switch.
+	Suppressed bool
+	// CostInputs are the placement cost inputs observed from the run:
+	// monitoring aggregates when Mon was supplied, critical-path shares
+	// when Journal was supplied (see CostInputs.PathShares/Dominant).
+	CostInputs placement.CostInputs
 }
 
 // RunSteered simulates the steering loop step by step: each step it
@@ -119,10 +143,25 @@ func RunSteered(cfg SteerConfig) (SteerResult, error) {
 		}
 	}
 
+	// Critical-path gate: the interference signal says the sim slowed
+	// down; the probe's critical path says whether re-placing the
+	// analytics can actually shorten the step.
+	if switchAt >= 0 && cfg.RequireDominant != "" {
+		dom, err := probeDominant(cfg.First)
+		if err != nil {
+			return out, err
+		}
+		if dom != cfg.RequireDominant {
+			out.Suppressed = true
+			switchAt = -1
+		}
+	}
+
 	if switchAt < 0 {
 		whole := cfg.First
 		whole.Steps = cfg.TotalSteps
 		whole.Mon = cfg.Mon
+		whole.Journal = cfg.Journal
 		res, err := Run(whole)
 		if err != nil {
 			return out, err
@@ -130,6 +169,7 @@ func RunSteered(cfg SteerConfig) (SteerResult, error) {
 		out.First = res
 		out.TotalTime = res.TotalTime
 		out.CPUHours = res.CPUHours
+		out.CostInputs = steerCostInputs(cfg)
 		return out, nil
 	}
 
@@ -139,6 +179,7 @@ func RunSteered(cfg SteerConfig) (SteerResult, error) {
 		TotalSteps: cfg.TotalSteps,
 		SwitchAt:   switchAt,
 		Mon:        cfg.Mon,
+		Journal:    cfg.Journal,
 	})
 	if err != nil {
 		return out, err
@@ -146,5 +187,39 @@ func RunSteered(cfg SteerConfig) (SteerResult, error) {
 	out.SwitchResult = sw
 	out.Switched = true
 	out.TriggerStep = switchAt
+	out.CostInputs = steerCostInputs(cfg)
 	return out, nil
+}
+
+// probeDominant journals a short run of the given regime into a scratch
+// recorder and returns the dominant critical-path point. The probe is
+// virtual-time only — it costs nothing on the modeled timeline.
+func probeDominant(regime Config) (string, error) {
+	probe := regime
+	probe.Steps = 2
+	probe.Mon = nil
+	probe.Journal = flight.NewJournal(0)
+	probe.MonEpoch = 0
+	probe.MonBase = 0
+	probe.MonStep = 0
+	if _, err := Run(probe); err != nil {
+		return "", err
+	}
+	a := flight.Analyze(probe.Journal.Snapshot())
+	return a.Dominant, nil
+}
+
+// steerCostInputs distills whatever observability the caller attached
+// into placement cost inputs: monitoring aggregates from Mon,
+// critical-path shares from Journal.
+func steerCostInputs(cfg SteerConfig) placement.CostInputs {
+	in := placement.CostInputs{SimSlowdown: 1}
+	if cfg.Mon != nil {
+		in = placement.CostInputsFromReport(cfg.Mon.Snapshot(), int64(cfg.TotalSteps))
+	}
+	if cfg.Journal != nil {
+		a := flight.Analyze(cfg.Journal.Snapshot())
+		in.ApplyCriticalPath(&a)
+	}
+	return in
 }

@@ -3,6 +3,7 @@ package coupled
 import (
 	"fmt"
 
+	"flexio/internal/flight"
 	"flexio/internal/monitor"
 	"flexio/internal/placement"
 )
@@ -23,6 +24,13 @@ type SwitchConfig struct {
 	// covering the switch gap — the trace shows the drain, re-handshake
 	// and re-dial as a visible seam between the two regimes.
 	Mon *monitor.Monitor
+
+	// Journal, when non-nil, receives both epochs' causal step events on
+	// the same virtual timeline plus a "reconfig" mark spanning the
+	// switch gap. RunSwitched is sequential in virtual time, so two runs
+	// from identical configs produce byte-identical journals — the basis
+	// of the replay divergence check.
+	Journal *flight.Journal
 }
 
 // SwitchResult is the outcome of one switched run.
@@ -67,6 +75,9 @@ func RunSwitched(cfg SwitchConfig) (SwitchResult, error) {
 	first.Steps = cfg.SwitchAt
 	if cfg.Mon != nil {
 		first.Mon, first.MonEpoch = cfg.Mon, 1
+	}
+	if cfg.Journal != nil {
+		first.Journal, first.MonEpoch = cfg.Journal, 1
 	}
 	if out.First, err = Run(first); err != nil {
 		return out, err
@@ -119,13 +130,24 @@ func RunSwitched(cfg SwitchConfig) (SwitchResult, error) {
 	// bumped epoch.
 	second := cfg.Second
 	second.Steps = cfg.TotalSteps - cfg.SwitchAt
-	if cfg.Mon != nil {
-		second.Mon, second.MonEpoch = cfg.Mon, 2
+	if cfg.Mon != nil || cfg.Journal != nil {
+		second.MonEpoch = 2
 		second.MonBase = out.First.TotalTime + out.ReconfigTime
 		second.MonStep = cfg.SwitchAt
+	}
+	if cfg.Mon != nil {
+		second.Mon = cfg.Mon
 		cfg.Mon.RecordSpan(monitor.Span{
 			Point: "reconfig", Step: int64(cfg.SwitchAt), Epoch: 2,
 			Start: out.First.TotalTime, Dur: out.ReconfigTime,
+		})
+	}
+	if cfg.Journal != nil {
+		second.Journal = cfg.Journal
+		cfg.Journal.Record(flight.Event{
+			Kind: flight.KindMark, Point: "reconfig",
+			Step: int64(cfg.SwitchAt), Epoch: 2,
+			T: out.First.TotalTime, Dur: out.ReconfigTime,
 		})
 	}
 	if out.Second, err = Run(second); err != nil {

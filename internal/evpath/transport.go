@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"flexio/internal/flight"
 	"flexio/internal/rdma"
 	"flexio/internal/shm"
 )
@@ -63,6 +64,8 @@ type Net struct {
 	mu        sync.Mutex
 	listeners map[string]*Listener
 	nextConn  int64
+	journal   *flight.Journal
+	shmChans  []*shm.Channel
 }
 
 // NewNet creates a connection manager. fabric may be nil if RDMA
@@ -137,6 +140,9 @@ func (n *Net) Dial(name string, kind TransportKind, nodeA, nodeB int) (Conn, err
 	}
 	if err != nil {
 		return nil, err
+	}
+	if kind == ShmTransport {
+		n.trackShmConn(a)
 	}
 	select {
 	case l.accept <- b:

@@ -92,6 +92,8 @@ var Registry = map[string]func() (*Figure, error){
 	"claims":   Claims,
 	"reconfig": func() (*Figure, error) { return ReconfigBench("BENCH_reconfig.json") },
 	"trace":    func() (*Figure, error) { return TraceRun("trace.json", "metrics.json", metricsAddr) },
+	"critpath": func() (*Figure, error) { return CritpathRun("journal.json", "critpath.json", "BENCH_flight.json") },
+	"replay":   func() (*Figure, error) { return ReplayRun(replayPerturb) },
 }
 
 // IDs returns the registered experiment ids, sorted.

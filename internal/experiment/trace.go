@@ -13,6 +13,7 @@ import (
 	"flexio/internal/coupled"
 	"flexio/internal/directory"
 	"flexio/internal/evpath"
+	"flexio/internal/flight"
 	"flexio/internal/machine"
 	"flexio/internal/monitor"
 	"flexio/internal/ndarray"
@@ -56,19 +57,22 @@ func TraceRun(tracePath, metricsPath, serveAddr string) (*Figure, error) {
 		return monitor.Merge("flexio", wm.Snapshot(), rm.Snapshot(), cm.Snapshot())
 	}
 
+	fj := flight.NewJournal(0)
+
 	var liveCheck string
 	if serveAddr != "" {
 		srv := monitor.NewServer(merged)
+		srv.SetFlightSource(func() *flight.Journal { return fj })
 		addr, err := srv.Start(serveAddr)
 		if err != nil {
 			return nil, fmt.Errorf("trace: live server: %w", err)
 		}
 		defer srv.Close() //nolint:errcheck
-		fig.Notes = append(fig.Notes, "live metrics at http://"+addr+"/metrics (and /trace, /spans, /report)")
-		liveCheck = "http://" + addr + "/metrics"
+		fig.Notes = append(fig.Notes, "live metrics at http://"+addr+"/metrics (and /trace, /spans, /report, /journal, /critpath)")
+		liveCheck = "http://" + addr
 	}
 
-	if err := traceStream(wm, rm, liveCheck, fig); err != nil {
+	if err := traceStream(wm, rm, fj, liveCheck, fig); err != nil {
 		return nil, err
 	}
 	if err := traceSteered(cm, fig); err != nil {
@@ -106,12 +110,17 @@ func TraceRun(tracePath, metricsPath, serveAddr string) (*Figure, error) {
 // traceStream runs the instrumented 2-writer / 2-reader stream: three
 // steps over shm, a Reconfigure that moves both readers to node 1 (rdma
 // transport thereafter), three more steps. A pass-through reader plug-in
-// keeps dc.plugin spans on the analytics side of the trace. If liveCheck
-// is non-empty, /metrics is fetched mid-run and must already serve
-// quantiles.
-func traceStream(wm, rm *monitor.Monitor, liveCheck string, fig *Figure) error {
+// keeps dc.plugin spans on the analytics side of the trace; the flight
+// journal rides along at every layer (core step chain, shm queue
+// crossings, rdma verbs). If liveCheck is non-empty, /metrics and
+// /journal are fetched mid-run and must already serve. Afterwards the
+// transport-resource gauges (registration cache, message-queue
+// high-water, shm pools/ring waits) are published into the writer
+// monitor so they surface on /metrics.
+func traceStream(wm, rm *monitor.Monitor, fj *flight.Journal, liveCheck string, fig *Figure) error {
 	const nw, nr, pre, post = 2, 2, 3, 3
 	net := evpath.NewNet(rdma.NewFabric(machine.Titan(8).Net))
+	net.SetJournal(fj)
 	dir := directory.NewMem()
 
 	shape := []int64{64, 64}
@@ -138,6 +147,8 @@ func traceStream(wm, rm *monitor.Monitor, liveCheck string, fig *Figure) error {
 	if err != nil {
 		return err
 	}
+	wg.SetJournal(fj)
+	rg.SetJournal(fj)
 	rg.InstallNamedPlugin("passthrough", func(ev *evpath.Event) (*evpath.Event, error) { return ev, nil })
 
 	errCh := make(chan error, nw+nr+1)
@@ -215,10 +226,12 @@ func traceStream(wm, rm *monitor.Monitor, liveCheck string, fig *Figure) error {
 	}
 	phase.Wait()
 
-	// Mid-run: the live endpoint must already serve quantiles while the
-	// stream is between epochs.
+	// Mid-run: the live endpoints must already serve while the stream is
+	// between epochs — quantiles on /metrics, the causal journal (with
+	// its stream fingerprint) on /journal, and a step-attributed path on
+	// /critpath.
 	if liveCheck != "" {
-		body, err := httpGet(liveCheck)
+		body, err := httpGet(liveCheck + "/metrics")
 		if err != nil {
 			return fmt.Errorf("trace: mid-run /metrics: %w", err)
 		}
@@ -226,6 +239,22 @@ func traceStream(wm, rm *monitor.Monitor, liveCheck string, fig *Figure) error {
 			return fmt.Errorf("trace: mid-run /metrics lacks quantiles: %.80q", body)
 		}
 		fig.Notes = append(fig.Notes, "mid-run /metrics self-check: ok (quantiles served)")
+
+		body, err = httpGet(liveCheck + "/journal")
+		if err != nil {
+			return fmt.Errorf("trace: mid-run /journal: %w", err)
+		}
+		if !strings.Contains(body, `"hash"`) || !strings.Contains(body, "writer.flush") {
+			return fmt.Errorf("trace: mid-run /journal lacks events: %.80q", body)
+		}
+		body, err = httpGet(liveCheck + "/critpath")
+		if err != nil {
+			return fmt.Errorf("trace: mid-run /critpath: %w", err)
+		}
+		if !strings.Contains(body, "dominant") {
+			return fmt.Errorf("trace: mid-run /critpath lacks analysis: %.80q", body)
+		}
+		fig.Notes = append(fig.Notes, "mid-run /journal + /critpath self-check: ok (flight recorder served)")
 	}
 
 	if err := rg.Reconfigure(core.ReconfigSpec{
@@ -258,6 +287,22 @@ func traceStream(wm, rm *monitor.Monitor, liveCheck string, fig *Figure) error {
 			return err
 		}
 	}
+
+	// Transport-resource gauges onto /metrics: registration-cache and
+	// message-queue counters from the epoch-2 rdma phase, per-channel
+	// pool/ring counters from the epoch-1 shm phase, and the core
+	// assembly pool's drain state (zero in-use once every ReadArray
+	// buffer came back through ReleaseArray).
+	net.Fabric().ReportTo(wm, "rdma")
+	net.ReportShm(wm, "shm")
+	asm := rg.AsmPoolStats()
+	rm.Set("core.asmpool.inuse", asm.BytesInUse)
+	rm.Set("core.asmpool.highwater", asm.HighWater)
+	fig.Notes = append(fig.Notes, fmt.Sprintf(
+		"transport gauges: rdma cache hits=%d misses=%d, msgq highwater=%d/%d, asm pool inuse=%d (highwater %d)",
+		net.Fabric().CacheTotals().Hits, net.Fabric().CacheTotals().Misses,
+		net.Fabric().MsgQueueHighWater(), rdma.MsgQueueDepth, asm.BytesInUse, asm.HighWater))
+
 	fig.Notes = append(fig.Notes, fmt.Sprintf(
 		"stream: %d writers -> %d readers, %d+%d steps around a node-move reconfiguration", nw, nr, pre, post))
 	return nil

@@ -93,6 +93,7 @@ func TestTraceRunArtifacts(t *testing.T) {
 			Count int64   `json:"count"`
 			P95   float64 `json:"p95"`
 		} `json:"timings"`
+		Gauges map[string]int64 `json:"gauges"`
 	}
 	if err := json.Unmarshal(blob, &rep); err != nil {
 		t.Fatalf("metrics.json does not parse: %v", err)
@@ -103,5 +104,35 @@ func TestTraceRunArtifacts(t *testing.T) {
 	fl := rep.Timings["flush"]
 	if fl.Count == 0 || fl.P95 <= 0 {
 		t.Fatalf("flush timing not exported: %+v", fl)
+	}
+
+	// Transport-resource gauges must surface in the merged report: the
+	// rdma phase exercises the registration cache and message queues...
+	if rep.Gauges["rdma.cache.hits"] <= 0 || rep.Gauges["rdma.cache.misses"] <= 0 {
+		t.Errorf("registration-cache gauges missing: hits=%d misses=%d",
+			rep.Gauges["rdma.cache.hits"], rep.Gauges["rdma.cache.misses"])
+	}
+	if hw := rep.Gauges["rdma.msgq.highwater"]; hw <= 0 || hw > rep.Gauges["rdma.msgq.cap"] {
+		t.Errorf("msgq highwater %d out of range (cap %d)", hw, rep.Gauges["rdma.msgq.cap"])
+	}
+	// ...and the shm phase fills at least one channel's buffer pool.
+	var shmHighWater int64
+	for name, v := range rep.Gauges {
+		if strings.HasPrefix(name, "shm.ch") && strings.HasSuffix(name, "pool.highwater") && v > shmHighWater {
+			shmHighWater = v
+		}
+	}
+	if shmHighWater <= 0 {
+		t.Errorf("no shm channel reported a pool high-water mark; gauges: %v", rep.Gauges)
+	}
+	// The assembly pool drains to zero once every buffer is released.
+	if rep.Gauges["core.asmpool.inuse"] != 0 || rep.Gauges["core.asmpool.highwater"] <= 0 {
+		t.Errorf("asm pool inuse=%d highwater=%d, want drained pool with recorded peak",
+			rep.Gauges["core.asmpool.inuse"], rep.Gauges["core.asmpool.highwater"])
+	}
+
+	// The live self-checks must cover the flight endpoints too.
+	if !strings.Contains(notes, "/journal + /critpath self-check: ok") {
+		t.Fatalf("no flight-endpoint self-check in notes:\n%s", notes)
 	}
 }

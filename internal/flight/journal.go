@@ -1,0 +1,356 @@
+// Package flight is FlexIO's causal flight recorder: a bounded,
+// allocation-lean journal of every causally relevant runtime event —
+// sends and receives, queue admissions, compute stages, blocks and wakes
+// — tagged with {time, rank, step, epoch, channel, causal parent}.
+//
+// Three consumers sit on top of the journal:
+//
+//   - critpath.go builds the happens-before graph of a step's events and
+//     extracts the critical path, attributing the step's latency to its
+//     dominating edge chain (e.g. writer.pack → rdma.put →
+//     reader.assemble) so placement decisions can react to *where* time
+//     goes, not just how much;
+//   - replay.go hashes the event stream and diffs two journals, turning
+//     the repo's virtual-time determinism claim into a tested invariant
+//     (two identically-seeded runs must produce byte-identical streams);
+//   - export.go renders the journal as JSON, as Chrome trace-event flow
+//     arrows across ranks, and as a human-readable critical-path report.
+//
+// Timestamps come from the recorder: virtual-time simulations record
+// modeled times directly (simnet.Engine satisfies Clock), wall-clock
+// recorders use Begin/End on the journal's injected clock. Replay
+// hashing is meaningful only for deterministic (single-threaded
+// discrete-event) recorders; multi-goroutine core streams use the
+// journal for critical-path analysis and trace export, where ring order
+// does not matter.
+//
+// A nil *Journal is a valid no-op recorder: every method is nil-safe and
+// the disabled path costs one branch (benchmarked and CI-gated, like the
+// monitor's nil-span path).
+package flight
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Kind classifies a journal event in the causal model.
+type Kind uint8
+
+const (
+	// KindCompute is a processing stage (pack, assemble, plug-in, sim
+	// compute).
+	KindCompute Kind = iota + 1
+	// KindSend is data leaving a rank or stage (transport send, RDMA
+	// put, flow injection).
+	KindSend
+	// KindRecv is data arriving (transport recv, RDMA get completion,
+	// flow delivery).
+	KindRecv
+	// KindEnqueue is admission into a bounded queue or buffer pool.
+	KindEnqueue
+	// KindDequeue is removal from a queue or pool.
+	KindDequeue
+	// KindBlock is a rank parking (queue full, waiting on data).
+	KindBlock
+	// KindWake is a parked rank resuming.
+	KindWake
+	// KindMark is a zero-or-known-duration annotation (epoch bump,
+	// reconfiguration seam).
+	KindMark
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCompute:
+		return "compute"
+	case KindSend:
+		return "send"
+	case KindRecv:
+		return "recv"
+	case KindEnqueue:
+		return "enqueue"
+	case KindDequeue:
+		return "dequeue"
+	case KindBlock:
+		return "block"
+	case KindWake:
+		return "wake"
+	case KindMark:
+		return "mark"
+	}
+	return "unknown"
+}
+
+// EventID names an event within one journal; IDs are assigned
+// sequentially from 1, so for a deterministic recorder they are part of
+// the replayable stream. 0 means "no event" (absent parent, nop journal).
+type EventID uint64
+
+// Event is one journal entry. Events are small value types; the journal
+// stores them in a bounded ring without per-event allocation.
+type Event struct {
+	ID     EventID `json:"id"`
+	Parent EventID `json:"parent,omitempty"` // causal parent (0 = root)
+	Kind   Kind    `json:"kind"`
+	// Point is the stage name, matching the monitor's measurement points
+	// where both exist ("writer.pack", "send.rdma", "sim.compute", ...).
+	Point string `json:"point"`
+	// Channel names the resource the event crossed (a transport pair,
+	// a fluid-flow resource set, a queue) for send/recv matching.
+	Channel string  `json:"channel,omitempty"`
+	T       float64 `json:"t"`             // seconds on the recorder's clock
+	Dur     float64 `json:"dur,omitempty"` // stage duration (0 = instant)
+	Rank    int     `json:"rank"`
+	Step    int64   `json:"step"`
+	Epoch   uint64  `json:"epoch,omitempty"`
+	Bytes   int64   `json:"bytes,omitempty"`
+}
+
+// finish is the event's completion time.
+func (e Event) finish() float64 { return e.T + e.Dur }
+
+// Clock supplies timestamps in seconds; simnet.Engine satisfies it, as
+// does monitor's wall clock. Only differences and ordering are
+// interpreted.
+type Clock interface {
+	Now() float64
+}
+
+// journalStart anchors the default wall clock so journals and monitors
+// created anywhere in the process share one comparable time base shape
+// (monotonic seconds since process start).
+var journalStart = time.Now()
+
+type wallClock struct{}
+
+func (wallClock) Now() float64 { return time.Since(journalStart).Seconds() }
+
+// DefaultCapacity bounds the journal ring when NewJournal is given a
+// non-positive capacity. Sized so a full switched coupled run (hundreds
+// of steps times a handful of events each) never wraps.
+const DefaultCapacity = 1 << 16
+
+// Journal is the bounded event recorder. All methods are safe for
+// concurrent use and nil-safe; a nil *Journal is the disabled fast path.
+type Journal struct {
+	mu     sync.Mutex
+	clock  Clock
+	events []Event // ring, oldest at next once saturated
+	cap    int
+	next   int
+	seen   int64
+	nextID EventID
+}
+
+// NewJournal creates a journal bounded to capacity events (<= 0 selects
+// DefaultCapacity).
+func NewJournal(capacity int) *Journal {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Journal{cap: capacity}
+}
+
+// SetClock injects the timestamp source used by Begin/End and Now; nil
+// restores the wall clock. Virtual-time recorders either inject their
+// simnet engine or pass explicit times to Record.
+func (j *Journal) SetClock(c Clock) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.clock = c
+	j.mu.Unlock()
+}
+
+// Now reads the journal's clock (wall clock when unset). Returns 0 on a
+// nil journal.
+func (j *Journal) Now() float64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	c := j.clock
+	j.mu.Unlock()
+	if c == nil {
+		return wallClock{}.Now()
+	}
+	return c.Now()
+}
+
+// Record appends an event with the caller's timestamps (the virtual-time
+// path: modeled times are passed in, not measured). The ID field is
+// assigned; the assigned ID is returned for parent links. A nil journal
+// records nothing and returns 0.
+func (j *Journal) Record(ev Event) EventID {
+	if j == nil {
+		return 0
+	}
+	if math.IsNaN(ev.T) {
+		ev.T = 0
+	}
+	j.mu.Lock()
+	j.nextID++
+	ev.ID = j.nextID
+	j.appendLocked(ev)
+	j.mu.Unlock()
+	return ev.ID
+}
+
+// Begin records an event stamped at the journal's clock with zero
+// duration, returning its ID; End later fills the duration in. This is
+// the wall-clock path used by the live data plane.
+func (j *Journal) Begin(ev Event) EventID {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	c := j.clock
+	if c == nil {
+		c = wallClock{}
+	}
+	ev.T = c.Now()
+	j.nextID++
+	ev.ID = j.nextID
+	j.appendLocked(ev)
+	j.mu.Unlock()
+	return ev.ID
+}
+
+// End closes an event opened with Begin: its duration becomes now - T.
+// A no-op if the event has already been overwritten by the ring bound
+// (or on a nil journal / zero id).
+func (j *Journal) End(id EventID) {
+	if j == nil || id == 0 {
+		return
+	}
+	j.mu.Lock()
+	if ev := j.findLocked(id); ev != nil {
+		c := j.clock
+		if c == nil {
+			c = wallClock{}
+		}
+		if d := c.Now() - ev.T; d > 0 {
+			ev.Dur = d
+		}
+	}
+	j.mu.Unlock()
+}
+
+// appendLocked pushes into the bounded ring. Caller holds j.mu.
+func (j *Journal) appendLocked(ev Event) {
+	if len(j.events) < j.cap {
+		j.events = append(j.events, ev)
+	} else {
+		j.events[j.next] = ev
+		j.next = (j.next + 1) % j.cap
+	}
+	j.seen++
+}
+
+// findLocked locates a live ring entry by ID using sequential-ID math
+// (no per-event index). Caller holds j.mu.
+func (j *Journal) findLocked(id EventID) *Event {
+	if id == 0 || id > j.nextID {
+		return nil
+	}
+	age := int64(j.nextID - id) // 0 = newest
+	if age >= int64(len(j.events)) {
+		return nil // overwritten
+	}
+	// Newest entry sits just before next (once saturated) or at the end.
+	var idx int
+	if len(j.events) < j.cap {
+		idx = len(j.events) - 1 - int(age)
+	} else {
+		idx = (j.next - 1 - int(age) + 2*j.cap) % j.cap
+	}
+	if idx < 0 {
+		return nil
+	}
+	return &j.events[idx]
+}
+
+// Snapshot copies the ring out oldest-first. Nil journals snapshot
+// empty.
+func (j *Journal) Snapshot() []Event {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(j.events) == 0 {
+		return nil
+	}
+	out := make([]Event, 0, len(j.events))
+	out = append(out, j.events[j.next:]...)
+	out = append(out, j.events[:j.next]...)
+	return out
+}
+
+// Len reports the number of buffered events.
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.events)
+}
+
+// Seen reports the total number of events ever recorded.
+func (j *Journal) Seen() int64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seen
+}
+
+// Dropped reports how many events the ring bound has overwritten.
+func (j *Journal) Dropped() int64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seen - int64(len(j.events))
+}
+
+// Reset clears the journal (events, counters and ID sequence), keeping
+// capacity and clock.
+func (j *Journal) Reset() {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.events = j.events[:0]
+	j.next = 0
+	j.seen = 0
+	j.nextID = 0
+	j.mu.Unlock()
+}
+
+// Hash folds the journal's buffered event stream (plus the total-seen
+// count, so a wrapped ring cannot collide with an unwrapped one) into
+// the replay fingerprint. See HashEvents.
+func (j *Journal) Hash() uint64 {
+	if j == nil {
+		return HashEvents(nil)
+	}
+	j.mu.Lock()
+	seen := j.seen
+	evs := make([]Event, 0, len(j.events))
+	evs = append(evs, j.events[j.next:]...)
+	evs = append(evs, j.events[:j.next]...)
+	j.mu.Unlock()
+	h := newStreamHash()
+	h.u64(uint64(seen))
+	for i := range evs {
+		h.event(&evs[i])
+	}
+	return h.sum()
+}

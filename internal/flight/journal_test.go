@@ -1,0 +1,184 @@
+package flight
+
+import (
+	"strings"
+	"testing"
+)
+
+type fakeClock struct{ t float64 }
+
+func (c *fakeClock) Now() float64 { return c.t }
+
+func TestNilJournalIsSafe(t *testing.T) {
+	var j *Journal
+	if id := j.Record(Event{Kind: KindSend, Point: "x"}); id != 0 {
+		t.Fatalf("nil Record returned %d, want 0", id)
+	}
+	if id := j.Begin(Event{Kind: KindCompute}); id != 0 {
+		t.Fatalf("nil Begin returned %d, want 0", id)
+	}
+	j.End(7)
+	j.SetClock(nil)
+	j.Reset()
+	if j.Snapshot() != nil || j.Len() != 0 || j.Seen() != 0 || j.Dropped() != 0 {
+		t.Fatal("nil journal should report empty state")
+	}
+	if j.Hash() != HashEvents(nil) {
+		t.Fatal("nil journal hash should equal empty-stream hash")
+	}
+}
+
+func TestRecordAssignsSequentialIDs(t *testing.T) {
+	j := NewJournal(16)
+	a := j.Record(Event{Kind: KindCompute, Point: "a", T: 1})
+	b := j.Record(Event{Kind: KindSend, Point: "b", T: 2, Parent: a})
+	if a != 1 || b != 2 {
+		t.Fatalf("ids = %d,%d, want 1,2", a, b)
+	}
+	evs := j.Snapshot()
+	if len(evs) != 2 || evs[0].ID != 1 || evs[1].Parent != a {
+		t.Fatalf("snapshot = %+v", evs)
+	}
+}
+
+func TestRingBoundOverwritesOldest(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 10; i++ {
+		j.Record(Event{Kind: KindCompute, Point: "p", T: float64(i)})
+	}
+	if j.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", j.Len())
+	}
+	if j.Seen() != 10 || j.Dropped() != 6 {
+		t.Fatalf("Seen/Dropped = %d/%d, want 10/6", j.Seen(), j.Dropped())
+	}
+	evs := j.Snapshot()
+	for i, ev := range evs {
+		if want := float64(6 + i); ev.T != want {
+			t.Fatalf("evs[%d].T = %v, want %v (oldest-first)", i, ev.T, want)
+		}
+	}
+}
+
+func TestBeginEndUsesInjectedClock(t *testing.T) {
+	clk := &fakeClock{t: 10}
+	j := NewJournal(8)
+	j.SetClock(clk)
+	id := j.Begin(Event{Kind: KindCompute, Point: "work", Rank: 2})
+	clk.t = 12.5
+	j.End(id)
+	evs := j.Snapshot()
+	if len(evs) != 1 || evs[0].T != 10 || evs[0].Dur != 2.5 {
+		t.Fatalf("span = %+v, want T=10 Dur=2.5", evs)
+	}
+	// End on an overwritten event is a no-op, not a crash.
+	j2 := NewJournal(2)
+	j2.SetClock(clk)
+	first := j2.Begin(Event{Point: "old"})
+	j2.Begin(Event{Point: "x"})
+	j2.Begin(Event{Point: "y"})
+	j2.End(first)
+}
+
+func TestEndAfterWrapFindsLiveEvents(t *testing.T) {
+	clk := &fakeClock{t: 0}
+	j := NewJournal(3)
+	j.SetClock(clk)
+	var ids []EventID
+	for i := 0; i < 5; i++ {
+		clk.t = float64(i)
+		ids = append(ids, j.Begin(Event{Point: "p"}))
+	}
+	clk.t = 100
+	j.End(ids[4]) // newest, live
+	j.End(ids[2]) // oldest live entry
+	j.End(ids[0]) // overwritten
+	evs := j.Snapshot()
+	if len(evs) != 3 {
+		t.Fatalf("Len = %d", len(evs))
+	}
+	if evs[2].Dur != 100-4 {
+		t.Fatalf("newest Dur = %v, want 96", evs[2].Dur)
+	}
+	if evs[0].Dur != 100-2 {
+		t.Fatalf("oldest live Dur = %v, want 98", evs[0].Dur)
+	}
+}
+
+func TestHashDetectsAnyFieldChange(t *testing.T) {
+	base := []Event{
+		{ID: 1, Kind: KindSend, Point: "send.rdma", Channel: "w0>r1", T: 1, Dur: 0.5, Rank: 0, Step: 3, Epoch: 1, Bytes: 4096},
+		{ID: 2, Parent: 1, Kind: KindRecv, Point: "recv", Channel: "w0>r1", T: 1.5, Rank: 1, Step: 3, Epoch: 1},
+	}
+	h0 := HashEvents(base)
+	if h0 == HashEvents(nil) {
+		t.Fatal("non-empty stream hashed as empty")
+	}
+	mutations := []func(e *Event){
+		func(e *Event) { e.ID++ },
+		func(e *Event) { e.Parent++ },
+		func(e *Event) { e.Kind = KindCompute },
+		func(e *Event) { e.Point += "x" },
+		func(e *Event) { e.Channel = "other" },
+		func(e *Event) { e.T += 1e-9 },
+		func(e *Event) { e.Dur += 1e-9 },
+		func(e *Event) { e.Rank++ },
+		func(e *Event) { e.Step++ },
+		func(e *Event) { e.Epoch++ },
+		func(e *Event) { e.Bytes++ },
+	}
+	for i, mut := range mutations {
+		evs := append([]Event(nil), base...)
+		mut(&evs[0])
+		if HashEvents(evs) == h0 {
+			t.Fatalf("mutation %d did not change the hash", i)
+		}
+	}
+	// And journal hashing matches when rebuilt identically.
+	j1, j2 := NewJournal(8), NewJournal(8)
+	for _, ev := range base {
+		e := ev
+		e.ID = 0
+		j1.Record(e)
+		j2.Record(e)
+	}
+	if j1.Hash() != j2.Hash() {
+		t.Fatal("identical journals hash differently")
+	}
+}
+
+func TestDiffLocatesFirstMismatch(t *testing.T) {
+	a := []Event{
+		{ID: 1, Kind: KindCompute, Point: "sim.compute", T: 0, Dur: 1},
+		{ID: 2, Kind: KindSend, Point: "sim.io", T: 1, Dur: 0.5},
+	}
+	b := append([]Event(nil), a...)
+	if d := Diff(a, b); d != nil {
+		t.Fatalf("identical streams diverged: %v", d)
+	}
+	b[1].Dur = 0.75
+	d := Diff(a, b)
+	if d == nil || d.Index != 1 || d.Field != "dur" {
+		t.Fatalf("Diff = %+v, want index 1 field dur", d)
+	}
+	if !strings.Contains(d.Error(), "event 1") {
+		t.Fatalf("Error() = %q", d.Error())
+	}
+	// Prefix divergence.
+	d = Diff(a, a[:1])
+	if d == nil || d.Field != "len" || d.Index != 1 {
+		t.Fatalf("prefix Diff = %+v", d)
+	}
+}
+
+func TestResetClearsStream(t *testing.T) {
+	j := NewJournal(8)
+	j.Record(Event{Kind: KindCompute, Point: "a", T: 1})
+	j.Reset()
+	if j.Len() != 0 || j.Seen() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+	if id := j.Record(Event{Kind: KindCompute, Point: "a", T: 1}); id != 1 {
+		t.Fatalf("post-Reset id = %d, want 1 (sequence restarts)", id)
+	}
+}

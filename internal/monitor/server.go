@@ -5,30 +5,56 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"flexio/internal/flight"
 )
 
 // Server exposes a live monitoring source over HTTP so a running
 // experiment can be watched mid-flight (including mid-reconfiguration):
 //
-//	/metrics  human-readable point table with P50/P95/P99 per timing
-//	/trace    Chrome trace-event JSON of the buffered spans
-//	/spans    raw span list as JSON
-//	/report   the full machine-readable report
+//	/metrics   human-readable point table with P50/P95/P99 per timing
+//	/trace     Chrome trace-event JSON of the buffered spans
+//	/spans     raw span list as JSON
+//	/report    the full machine-readable report
+//	/journal   flight-recorder event journal as JSON (with stream hash)
+//	/critpath  per-step critical-path analysis of the journal as JSON
 //
 // The source callback is invoked per request, so every response is a
 // fresh snapshot; typical sources Merge the live writer- and reader-side
-// monitors.
+// monitors. /journal and /critpath respond 404 until SetFlightSource
+// attaches a flight recorder.
 type Server struct {
 	src func() Report
 
-	mu  sync.Mutex
-	srv *http.Server
-	ln  net.Listener
+	mu     sync.Mutex
+	flight func() *flight.Journal
+	srv    *http.Server
+	ln     net.Listener
 }
 
 // NewServer wraps a report source (never nil).
 func NewServer(src func() Report) *Server {
 	return &Server{src: src}
+}
+
+// SetFlightSource attaches a flight-recorder source serving /journal and
+// /critpath. Like the report source it is invoked per request; a nil
+// source (or a source returning nil) detaches the endpoints.
+func (s *Server) SetFlightSource(src func() *flight.Journal) {
+	s.mu.Lock()
+	s.flight = src
+	s.mu.Unlock()
+}
+
+func (s *Server) flightJournal() (*flight.Journal, bool) {
+	s.mu.Lock()
+	src := s.flight
+	s.mu.Unlock()
+	if src == nil {
+		return nil, false
+	}
+	j := src()
+	return j, j != nil
 }
 
 // Handler returns the endpoint mux, for embedding into an existing
@@ -52,6 +78,24 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/report", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		s.src().WriteJSON(w) //nolint:errcheck
+	})
+	mux.HandleFunc("/journal", func(w http.ResponseWriter, req *http.Request) {
+		j, ok := s.flightJournal()
+		if !ok {
+			http.Error(w, "no flight recorder attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		flight.WriteJSON(w, j) //nolint:errcheck
+	})
+	mux.HandleFunc("/critpath", func(w http.ResponseWriter, req *http.Request) {
+		j, ok := s.flightJournal()
+		if !ok {
+			http.Error(w, "no flight recorder attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		flight.WriteAnalysisJSON(w, flight.Analyze(j.Snapshot())) //nolint:errcheck
 	})
 	return mux
 }

@@ -1,0 +1,76 @@
+package monitor
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"flexio/internal/flight"
+)
+
+// TestServerFlightEndpoints: /journal and /critpath 404 until a flight
+// source is attached, then serve the journal dump (with its stream
+// fingerprint) and the per-step critical-path analysis.
+func TestServerFlightEndpoints(t *testing.T) {
+	srv := NewServer(func() Report { return New("live").Snapshot() })
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, _ := get("/journal"); code != http.StatusNotFound {
+		t.Fatalf("/journal without source = %d, want 404", code)
+	}
+	if code, _ := get("/critpath"); code != http.StatusNotFound {
+		t.Fatalf("/critpath without source = %d, want 404", code)
+	}
+
+	j := flight.NewJournal(0)
+	p := j.Record(flight.Event{Kind: flight.KindCompute, Point: "writer.flush", T: 1, Dur: 0.5, Step: 3})
+	j.Record(flight.Event{Kind: flight.KindSend, Point: "send.shm", Parent: p, T: 1.5, Dur: 0.25, Step: 3, Bytes: 64})
+	srv.SetFlightSource(func() *flight.Journal { return j })
+
+	code, body := get("/journal")
+	if code != http.StatusOK {
+		t.Fatalf("/journal = %d", code)
+	}
+	var dump flight.JournalDump
+	if err := json.Unmarshal([]byte(body), &dump); err != nil {
+		t.Fatalf("/journal invalid: %v", err)
+	}
+	if dump.Seen != 2 || len(dump.Events) != 2 || dump.Hash == "" {
+		t.Fatalf("/journal dump = %+v", dump)
+	}
+
+	code, body = get("/critpath")
+	if code != http.StatusOK {
+		t.Fatalf("/critpath = %d", code)
+	}
+	var an flight.Analysis
+	if err := json.Unmarshal([]byte(body), &an); err != nil {
+		t.Fatalf("/critpath invalid: %v", err)
+	}
+	if len(an.Steps) != 1 || an.Steps[0].Step != 3 || an.Dominant != "writer.flush" {
+		t.Fatalf("/critpath analysis = %+v", an)
+	}
+
+	srv.SetFlightSource(nil)
+	if code, _ := get("/journal"); code != http.StatusNotFound {
+		t.Fatalf("/journal after detach = %d, want 404", code)
+	}
+}

@@ -28,6 +28,14 @@ type CostInputs struct {
 	// Epoch is the session epoch the report covers ("session.epoch"
 	// gauge; merged reports keep the max across ranks).
 	Epoch uint64
+	// PathShares attributes the observed step latency to pipeline
+	// stages by point name (shares sum to ~1), as extracted by the
+	// flight recorder's critical-path analysis. Nil when no flight
+	// analysis was applied; see ApplyCriticalPath.
+	PathShares map[string]float64
+	// Dominant is the point owning the largest critical-path share
+	// ("" when no flight analysis was applied).
+	Dominant string
 }
 
 // CostInputsFromReport folds a monitoring report covering `steps`

@@ -18,7 +18,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"flexio/internal/flight"
 	"flexio/internal/machine"
 	"flexio/internal/monitor"
 )
@@ -66,6 +68,17 @@ type Fabric struct {
 	regions   map[Handle]*MemRegion
 	endpoints map[string]*Endpoint
 	mon       *monitor.Monitor // attached via SetMonitor; nil = off
+	journal   *flight.Journal  // attached via SetJournal; nil = off
+
+	// Resource counters aggregated fabric-wide: registration caches are
+	// created per connection inside the transport layer, so their stats
+	// roll up here (see flightrec.go), as does the deepest observed
+	// small-message queue.
+	cacheHits     atomic.Int64
+	cacheMisses   atomic.Int64
+	cacheReclaims atomic.Int64
+	cacheBytes    atomic.Int64
+	msgqHighWater atomic.Int64
 }
 
 // NewFabric creates a fabric with the given interconnect cost model.
@@ -173,6 +186,12 @@ func (ep *Endpoint) RegisterMemory(buf []byte) (*MemRegion, float64, error) {
 	f.regions[r.h] = r
 	cost := f.RegCost(len(buf))
 	observeVerb(f.mon, "rdma.reg", cost, len(buf))
+	if j := f.journal; j != nil { // f.mu held: read the field directly
+		j.Record(flight.Event{
+			Kind: flight.KindSend, Point: "rdma.reg", Channel: ep.Name,
+			T: j.Now(), Dur: cost, Step: -1, Bytes: int64(len(buf)),
+		})
+	}
 	return r, cost, nil
 }
 
@@ -223,6 +242,7 @@ func (ep *Endpoint) Get(remote Handle, remoteOff int, local *MemRegion, localOff
 	copy(local.buf[localOff:localOff+n], src.buf[remoteOff:remoteOff+n])
 	cost := ep.fab.XferCost(n)
 	observeVerb(ep.fab.monitor(), "rdma.get", cost, n)
+	ep.fab.recordVerb("rdma.get", src.owner.Name+">"+ep.Name, cost, n)
 	return cost, nil
 }
 
@@ -245,6 +265,7 @@ func (ep *Endpoint) Put(local *MemRegion, localOff int, remote Handle, remoteOff
 	copy(dst.buf[remoteOff:remoteOff+n], local.buf[localOff:localOff+n])
 	cost := ep.fab.XferCost(n)
 	observeVerb(ep.fab.monitor(), "rdma.put", cost, n)
+	ep.fab.recordVerb("rdma.put", ep.Name+">"+dst.owner.Name, cost, n)
 	return cost, nil
 }
 
@@ -262,8 +283,10 @@ func (ep *Endpoint) SendMsg(peer *Endpoint, msg []byte) (float64, error) {
 	copy(cp, msg)
 	select {
 	case peer.msgQ <- cp:
+		ep.fab.noteMsgQDepth(len(peer.msgQ))
 		cost := ep.fab.XferCost(len(msg))
 		observeVerb(ep.fab.monitor(), "rdma.sendmsg", cost, len(msg))
+		ep.fab.recordVerb("rdma.sendmsg", ep.Name+">"+peer.Name, cost, len(msg))
 		return cost, nil
 	default:
 		return 0, ErrQueueFull

@@ -1,0 +1,90 @@
+package rdma
+
+import (
+	"flexio/internal/flight"
+	"flexio/internal/monitor"
+)
+
+// Flight-recorder and gauge wiring for the emulated fabric.
+//
+// Registration caches are created per connection deep inside the
+// transport layer, so their counters aggregate up into fabric-level
+// atomics (cacheHits/cacheMisses/...); likewise the small-message-queue
+// high-watermark is tracked fabric-wide against MsgQueueDepth. ReportTo
+// publishes both families as monitor gauges so they surface on /metrics,
+// and SetJournal records every verb as a causal send event.
+
+// SetJournal attaches a flight recorder: every verb is journaled as a
+// send event ("rdma.put", "rdma.get", "rdma.sendmsg", "rdma.reg") with
+// the endpoint pair as the channel and the modeled cost as the duration.
+// Verb events carry Step -1 (the core layer owns step attribution). A
+// nil journal detaches.
+func (f *Fabric) SetJournal(j *flight.Journal) {
+	f.mu.Lock()
+	f.journal = j
+	f.mu.Unlock()
+}
+
+// journalRef returns the attached journal (nil when recording is off).
+func (f *Fabric) journalRef() *flight.Journal {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.journal
+}
+
+// recordVerb journals one verb with its modeled cost; nil-safe via the
+// journal's own nil fast path.
+func (f *Fabric) recordVerb(verb, channel string, cost float64, n int) {
+	j := f.journalRef()
+	if j == nil {
+		return
+	}
+	j.Record(flight.Event{
+		Kind: flight.KindSend, Point: verb, Channel: channel,
+		T: j.Now(), Dur: cost, Step: -1, Bytes: int64(n),
+	})
+}
+
+// noteMsgQDepth folds a post-enqueue queue depth into the fabric-wide
+// high-watermark. Caller holds the receiving endpoint's mutex, so depth
+// is exact at enqueue time.
+func (f *Fabric) noteMsgQDepth(depth int) {
+	for {
+		cur := f.msgqHighWater.Load()
+		if int64(depth) <= cur || f.msgqHighWater.CompareAndSwap(cur, int64(depth)) {
+			return
+		}
+	}
+}
+
+// MsgQueueHighWater reports the deepest any endpoint's small-message
+// queue has been since the fabric was created (compare MsgQueueDepth).
+func (f *Fabric) MsgQueueHighWater() int { return int(f.msgqHighWater.Load()) }
+
+// CacheTotals reports registration-cache counters aggregated across
+// every RegCache created on this fabric's endpoints.
+func (f *Fabric) CacheTotals() CacheStats {
+	return CacheStats{
+		Hits:          f.cacheHits.Load(),
+		Misses:        f.cacheMisses.Load(),
+		Reclaims:      f.cacheReclaims.Load(),
+		BytesRetained: f.cacheBytes.Load(),
+	}
+}
+
+// ReportTo publishes the fabric's resource counters as monitor gauges
+// under prefix (e.g. "rdma"): registration-cache hits/misses/reclaims
+// and retained bytes, and the message-queue high-watermark alongside its
+// capacity. Nil-safe on both receivers.
+func (f *Fabric) ReportTo(m *monitor.Monitor, prefix string) {
+	if f == nil || m == nil {
+		return
+	}
+	cs := f.CacheTotals()
+	m.Set(prefix+".cache.hits", cs.Hits)
+	m.Set(prefix+".cache.misses", cs.Misses)
+	m.Set(prefix+".cache.reclaims", cs.Reclaims)
+	m.Set(prefix+".cache.bytes_retained", cs.BytesRetained)
+	m.Set(prefix+".msgq.highwater", int64(f.MsgQueueHighWater()))
+	m.Set(prefix+".msgq.cap", MsgQueueDepth)
+}

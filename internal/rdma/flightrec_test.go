@@ -1,0 +1,115 @@
+package rdma
+
+import (
+	"strings"
+	"testing"
+
+	"flexio/internal/flight"
+	"flexio/internal/monitor"
+)
+
+// TestFabricGaugesAndCacheTotals: registration-cache counters created on
+// any endpoint aggregate into fabric totals, the message-queue
+// high-watermark tracks the deepest enqueue, and ReportTo publishes both
+// families as monitor gauges.
+func TestFabricGaugesAndCacheTotals(t *testing.T) {
+	f := testFabric()
+	a, _ := f.Attach("a", 0)
+	b, _ := f.Attach("b", 1)
+
+	c := NewRegCache(a, 1<<20)
+	r1, _, err := c.Acquire(4096) // miss
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Release(r1)
+	r2, _, err := c.Acquire(4096) // hit (same size class, retained)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Release(r2)
+
+	for i := 0; i < 5; i++ {
+		if _, err := a.SendMsg(b, []byte("ping")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ct := f.CacheTotals()
+	if ct.Hits != 1 || ct.Misses != 1 {
+		t.Fatalf("cache totals = %+v, want 1 hit / 1 miss", ct)
+	}
+	if hw := f.MsgQueueHighWater(); hw != 5 {
+		t.Fatalf("msgq highwater = %d, want 5", hw)
+	}
+
+	m := monitor.New("transport")
+	f.ReportTo(m, "rdma")
+	g := m.Snapshot().Gauges
+	if g["rdma.cache.hits"] != 1 || g["rdma.cache.misses"] != 1 {
+		t.Fatalf("cache gauges: %v", g)
+	}
+	if g["rdma.msgq.highwater"] != 5 || g["rdma.msgq.cap"] != MsgQueueDepth {
+		t.Fatalf("msgq gauges: %v", g)
+	}
+	var nilFab *Fabric
+	nilFab.ReportTo(m, "rdma") // nil-safe
+	f.ReportTo(nil, "rdma")
+}
+
+// TestFabricJournalsVerbs: with a recorder attached every verb becomes a
+// transport-level send event carrying the modeled cost and the endpoint
+// pair; detaching stops recording.
+func TestFabricJournalsVerbs(t *testing.T) {
+	f := testFabric()
+	a, _ := f.Attach("a", 0)
+	b, _ := f.Attach("b", 1)
+	j := flight.NewJournal(0)
+	f.SetJournal(j)
+
+	src := make([]byte, 2048)
+	sreg, _, err := a.RegisterMemory(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 2048)
+	dreg, _, err := b.RegisterMemory(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Get(sreg.Handle(), 0, dreg, 0, 2048); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Put(dreg, 0, sreg.Handle(), 0, 2048); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.SendMsg(b, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+
+	points := map[string]int{}
+	for _, ev := range j.Snapshot() {
+		if ev.Step != -1 {
+			t.Fatalf("verb event must be transport-level: %+v", ev)
+		}
+		if ev.Kind != flight.KindSend || ev.Dur <= 0 {
+			t.Fatalf("verb event needs kind+cost: %+v", ev)
+		}
+		if ev.Point != "rdma.reg" && !strings.Contains(ev.Channel, ">") {
+			t.Fatalf("verb event lacks endpoint pair: %+v", ev)
+		}
+		points[ev.Point]++
+	}
+	if points["rdma.reg"] != 2 || points["rdma.get"] != 1 || points["rdma.put"] != 1 || points["rdma.sendmsg"] != 1 {
+		t.Fatalf("journaled verbs: %v", points)
+	}
+
+	f.SetJournal(nil)
+	seen := j.Seen()
+	if _, err := a.SendMsg(b, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	if j.Seen() != seen {
+		t.Fatal("detached fabric still journals")
+	}
+}

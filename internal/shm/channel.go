@@ -3,6 +3,9 @@ package shm
 import (
 	"encoding/binary"
 	"sync"
+	"sync/atomic"
+
+	"flexio/internal/flight"
 )
 
 // Message kinds carried in the control queue.
@@ -38,6 +41,8 @@ type Channel struct {
 	mu          sync.Mutex
 	outstanding map[uint64]*outEntry
 	nextID      uint64
+
+	journal atomic.Pointer[flight.Journal] // attached via SetJournal
 
 	stats struct {
 		sync.Mutex
@@ -95,6 +100,7 @@ func (c *Channel) Send(msg []byte) bool {
 		ok := c.q.Enqueue(frame)
 		if ok {
 			c.bump(func(s *ChannelStats) { s.InlineSends++ })
+			c.recordQueueEvent(flight.KindEnqueue, "shm.send.inline", len(msg))
 		}
 		return ok
 	}
@@ -113,6 +119,7 @@ func (c *Channel) Send(msg []byte) bool {
 		return false
 	}
 	c.bump(func(s *ChannelStats) { s.PooledSends++ })
+	c.recordQueueEvent(flight.KindEnqueue, "shm.send.pooled", len(msg))
 	return true
 }
 
@@ -134,6 +141,7 @@ func (c *Channel) SendZeroCopy(msg []byte) bool {
 	}
 	<-e.done
 	c.bump(func(s *ChannelStats) { s.ZeroCopySends++ })
+	c.recordQueueEvent(flight.KindEnqueue, "shm.send.zerocopy", len(msg))
 	return true
 }
 
@@ -154,6 +162,7 @@ func (c *Channel) Recv(dst []byte) (msg []byte, ok bool) {
 		}
 		dst = grow(dst, ln)
 		copy(dst, frame[ctlHeader:ctlHeader+ln])
+		c.recordQueueEvent(flight.KindDequeue, "shm.recv", ln)
 		return dst, true
 	case msgPooled:
 		id := binary.LittleEndian.Uint64(frame[1:])
@@ -164,6 +173,7 @@ func (c *Channel) Recv(dst []byte) (msg []byte, ok bool) {
 		dst = grow(dst, len(e.buf))
 		copy(dst, e.buf) // second copy
 		c.pool.Put(e.buf)
+		c.recordQueueEvent(flight.KindDequeue, "shm.recv", len(dst))
 		return dst, true
 	case msgXpmem:
 		id := binary.LittleEndian.Uint64(frame[1:])
@@ -174,6 +184,7 @@ func (c *Channel) Recv(dst []byte) (msg []byte, ok bool) {
 		dst = grow(dst, len(e.buf))
 		copy(dst, e.buf) // the only copy
 		e.release()
+		c.recordQueueEvent(flight.KindDequeue, "shm.recv", len(dst))
 		return dst, true
 	}
 	return nil, false

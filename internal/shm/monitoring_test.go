@@ -2,7 +2,9 @@ package shm
 
 import (
 	"testing"
+	"time"
 
+	"flexio/internal/flight"
 	"flexio/internal/monitor"
 )
 
@@ -41,4 +43,136 @@ func TestChannelReportTo(t *testing.T) {
 		t.Fatalf("republished msgs gauge = %d, want 3", got)
 	}
 	c.ReportTo(nil, "shm.")
+}
+
+// TestChannelPoolGauges: occupancy tracks outstanding pooled payloads,
+// the high-water mark keeps the peak, and draining the channel returns
+// occupancy to zero while the peak survives.
+func TestChannelPoolGauges(t *testing.T) {
+	c, err := NewChannel(8, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		if !c.Send(make([]byte, 4096)) {
+			t.Fatal("pooled send failed")
+		}
+	}
+	m := monitor.New("transport")
+	c.ReportTo(m, "shm.")
+	rep := m.Snapshot()
+	if rep.Gauges["shm.pool.inuse"] <= 0 {
+		t.Fatalf("in-flight pooled payloads must occupy the pool: %+v", rep.Gauges)
+	}
+	if rep.Gauges["shm.pool.highwater"] < rep.Gauges["shm.pool.inuse"] {
+		t.Fatalf("highwater %d < inuse %d", rep.Gauges["shm.pool.highwater"], rep.Gauges["shm.pool.inuse"])
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := c.Recv(nil); !ok {
+			t.Fatal("recv failed")
+		}
+	}
+	st := c.pool.Stats()
+	if st.BytesInUse != 0 {
+		t.Fatalf("drained channel still holds %d pool bytes", st.BytesInUse)
+	}
+	if st.HighWater <= 0 {
+		t.Fatal("high-water mark lost on drain")
+	}
+}
+
+// TestQueueWaitCounts: one count per blocking episode — a producer
+// finding the ring full, a consumer finding it empty — not per spin.
+func TestQueueWaitCounts(t *testing.T) {
+	q, err := NewQueue(2, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enq, deq := q.WaitCounts(); enq != 0 || deq != 0 {
+		t.Fatalf("fresh queue waits = %d/%d", enq, deq)
+	}
+
+	// Fill the ring, then block the producer until the consumer drains.
+	for q.TryEnqueue([]byte("x")) {
+	}
+	done := make(chan struct{})
+	go func() {
+		q.Enqueue([]byte("y"))
+		close(done)
+	}()
+	time.Sleep(2 * time.Millisecond) // let the producer park on the full ring
+	buf := make([]byte, 32)
+	for {
+		if _, ok := q.TryDequeue(buf); !ok {
+			break
+		}
+	}
+	<-done
+	if enq, _ := q.WaitCounts(); enq != 1 {
+		t.Fatalf("enqueue waits = %d, want 1 blocking episode", enq)
+	}
+	for { // the unblocked producer landed its message; empty the ring
+		if _, ok := q.TryDequeue(buf); !ok {
+			break
+		}
+	}
+
+	// Block the consumer on the now-empty ring.
+	got := make(chan struct{})
+	go func() {
+		q.Dequeue(buf)
+		close(got)
+	}()
+	time.Sleep(2 * time.Millisecond)
+	if !q.Enqueue([]byte("z")) {
+		t.Fatal("enqueue failed")
+	}
+	<-got
+	if _, deq := q.WaitCounts(); deq != 1 {
+		t.Fatalf("dequeue waits = %d, want 1 blocking episode", deq)
+	}
+	q.Close()
+}
+
+// TestChannelJournalsQueueEvents: an attached recorder sees each send
+// path as an enqueue event and each delivery as a dequeue, tagged as
+// transport-level (Step -1) with the payload size.
+func TestChannelJournalsQueueEvents(t *testing.T) {
+	c, err := NewChannel(8, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	j := flight.NewJournal(0)
+	c.SetJournal(j)
+	if !c.Send(make([]byte, 16)) { // inline
+		t.Fatal("inline send failed")
+	}
+	if !c.Send(make([]byte, 4096)) { // pooled
+		t.Fatal("pooled send failed")
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok := c.Recv(nil); !ok {
+			t.Fatal("recv failed")
+		}
+	}
+	points := map[string]int{}
+	for _, ev := range j.Snapshot() {
+		if ev.Step != -1 || ev.Channel != "shm" {
+			t.Fatalf("queue event must be transport-level: %+v", ev)
+		}
+		points[ev.Point]++
+	}
+	if points["shm.send.inline"] != 1 || points["shm.send.pooled"] != 1 || points["shm.recv"] != 2 {
+		t.Fatalf("journaled points: %v", points)
+	}
+	// Detach: no further events recorded.
+	c.SetJournal(nil)
+	seen := j.Seen()
+	c.Send(make([]byte, 16))
+	c.Recv(nil)
+	if j.Seen() != seen {
+		t.Fatal("detached channel still journals")
+	}
 }

@@ -14,6 +14,7 @@ type PoolStats struct {
 	Reclaims   int64 // buffers dropped to enforce MaxBytes
 	BytesInUse int64 // bytes currently lent out
 	BytesFree  int64 // bytes parked on the free list
+	HighWater  int64 // peak BytesInUse since the pool was created
 }
 
 // BufferPool is the producer-owned shared-memory buffer pool used for
@@ -62,10 +63,16 @@ func (p *BufferPool) Get(n int) ([]byte, error) {
 		p.stats.Reuses++
 		p.stats.BytesFree -= int64(class)
 		p.stats.BytesInUse += int64(class)
+		if p.stats.BytesInUse > p.stats.HighWater {
+			p.stats.HighWater = p.stats.BytesInUse
+		}
 		return buf[:n], nil
 	}
 	p.stats.Allocs++
 	p.stats.BytesInUse += int64(class)
+	if p.stats.BytesInUse > p.stats.HighWater {
+		p.stats.HighWater = p.stats.BytesInUse
+	}
 	return make([]byte, n, class), nil
 }
 

@@ -55,6 +55,13 @@ type Queue struct {
 	_pad2 [CacheLineSize]byte
 
 	closed atomic.Bool
+
+	// Wait accounting: one count per *blocking episode* (an Enqueue that
+	// found the ring full, a Dequeue that found it empty), not per spin
+	// iteration — the paper's backpressure signal, cheap enough to leave
+	// on. Reported via WaitCounts and the channel's monitor gauges.
+	enqWaits atomic.Int64
+	deqWaits atomic.Int64
 }
 
 // NewQueue creates a queue with the given number of entries (rounded up to
@@ -117,12 +124,17 @@ func (q *Queue) TryEnqueue(msg []byte) bool {
 // Enqueue blocks (spinning with escalating yields) until the message is
 // enqueued or the queue is closed. It reports false if closed first.
 func (q *Queue) Enqueue(msg []byte) bool {
+	waited := false
 	for spin := 0; ; spin++ {
 		if q.closed.Load() {
 			return false
 		}
 		if q.TryEnqueue(msg) {
 			return true
+		}
+		if !waited {
+			waited = true
+			q.enqWaits.Add(1)
 		}
 		backoff(spin)
 	}
@@ -150,6 +162,7 @@ func (q *Queue) TryDequeue(dst []byte) (n int, ok bool) {
 // Dequeue blocks until a message arrives or the queue is closed and
 // drained; it reports ok=false in the latter case.
 func (q *Queue) Dequeue(dst []byte) (int, bool) {
+	waited := false
 	for spin := 0; ; spin++ {
 		if n, ok := q.TryDequeue(dst); ok {
 			return n, true
@@ -160,6 +173,10 @@ func (q *Queue) Dequeue(dst []byte) (int, bool) {
 				return n, true
 			}
 			return 0, false
+		}
+		if !waited {
+			waited = true
+			q.deqWaits.Add(1)
 		}
 		backoff(spin)
 	}
@@ -172,6 +189,12 @@ func (q *Queue) Close() { q.closed.Store(true) }
 
 // Closed reports whether Close was called.
 func (q *Queue) Closed() bool { return q.closed.Load() }
+
+// WaitCounts reports how many blocking Enqueue calls found the ring full
+// and how many blocking Dequeue calls found it empty.
+func (q *Queue) WaitCounts() (enq, deq int64) {
+	return q.enqWaits.Load(), q.deqWaits.Load()
+}
 
 // Len reports an instantaneous (racy, advisory) count of full entries.
 func (q *Queue) Len() int {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"flexio/internal/flight"
 )
 
 // Resource is a shared capacity (bytes/second) that concurrent flows
@@ -33,6 +35,8 @@ type Flow struct {
 	done      func(finish float64)
 	lastT     float64
 	timer     *Timer
+	bytes     float64        // original size, for the journal
+	startEv   flight.EventID // injection event, parent of the delivery
 }
 
 // FluidNet simulates bulk data movement as fluid flows with max-min fair
@@ -42,9 +46,10 @@ type Flow struct {
 // effects that drive FlexIO's placement trade-offs (staging traffic
 // interfering with simulation MPI traffic, NIC injection limits, etc.).
 type FluidNet struct {
-	eng    *Engine
-	nextID int64
-	active map[int64]*Flow
+	eng     *Engine
+	nextID  int64
+	active  map[int64]*Flow
+	journal *flight.Journal
 }
 
 // NewFluidNet creates a fluid network bound to an engine.
@@ -65,6 +70,8 @@ func (n *FluidNet) StartFlow(bytes float64, latency float64, rateLimit float64, 
 	}
 	n.eng.Schedule(latency, func() {
 		if bytes == 0 {
+			ev := n.recordFlowStart(0, resources)
+			n.recordFlowEnd(ev, 0, resources)
 			if done != nil {
 				done(n.eng.Now())
 			}
@@ -77,6 +84,8 @@ func (n *FluidNet) StartFlow(bytes float64, latency float64, rateLimit float64, 
 			res:       resources,
 			done:      done,
 			lastT:     n.eng.Now(),
+			bytes:     bytes,
+			startEv:   n.recordFlowStart(bytes, resources),
 		}
 		n.nextID++
 		n.active[f.id] = f
@@ -281,6 +290,7 @@ func (n *FluidNet) finish(f *Flow) {
 	for _, r := range f.res {
 		delete(r.flows, f.id)
 	}
+	n.recordFlowEnd(f.startEv, f.bytes, f.res)
 	done := f.done
 	n.rebalance()
 	if done != nil {

@@ -1,0 +1,63 @@
+package simnet
+
+import (
+	"strings"
+
+	"flexio/internal/flight"
+)
+
+// Flight-recorder wiring for the fluid network: when a journal is
+// attached, every flow's injection and delivery are recorded as
+// send/recv events in virtual time, with the delivery causally linked to
+// the injection and the channel named after the contended resources.
+// Flow events carry Step -1 (below the step layer — the coupled model
+// records the per-step chain); they appear in trace exports and replay
+// hashes but are skipped by per-step critical-path analysis.
+
+// SetJournal attaches a flight recorder to the network (nil detaches).
+// The journal's clock is pointed at the engine so Begin/End users of the
+// same journal share the virtual timeline.
+func (n *FluidNet) SetJournal(j *flight.Journal) {
+	n.journal = j
+	j.SetClock(n.eng)
+}
+
+// Journal returns the attached recorder (nil when detached).
+func (n *FluidNet) Journal() *flight.Journal { return n.journal }
+
+// flowChannel names a flow's resource set for send/recv matching.
+func flowChannel(resources []*Resource) string {
+	if len(resources) == 0 {
+		return "unconstrained"
+	}
+	names := make([]string, len(resources))
+	for i, r := range resources {
+		names[i] = r.Name
+	}
+	return strings.Join(names, "+")
+}
+
+// recordFlowStart journals a flow's injection, returning the event ID
+// for the delivery's parent link.
+func (n *FluidNet) recordFlowStart(bytes float64, resources []*Resource) flight.EventID {
+	if n.journal == nil {
+		return 0
+	}
+	return n.journal.Record(flight.Event{
+		Kind: flight.KindSend, Point: "flow.start",
+		Channel: flowChannel(resources),
+		T:       n.eng.Now(), Step: -1, Bytes: int64(bytes),
+	})
+}
+
+// recordFlowEnd journals a flow's delivery.
+func (n *FluidNet) recordFlowEnd(parent flight.EventID, bytes float64, resources []*Resource) {
+	if n.journal == nil {
+		return
+	}
+	n.journal.Record(flight.Event{
+		Kind: flight.KindRecv, Point: "flow.end", Parent: parent,
+		Channel: flowChannel(resources),
+		T:       n.eng.Now(), Step: -1, Bytes: int64(bytes),
+	})
+}
