@@ -6,15 +6,16 @@ GO ?= go
 check: fmt vet build race
 
 ## ci: the continuous-integration gate — vet, build, full race-detector
-## run, plus the Nop-overhead benchmark gates (budgets in
-## BENCH_monitor.json / BENCH_flight.json; both run without -race so the
-## measurements are honest).
+## run, plus the benchmark regression gates (budgets in
+## BENCH_monitor.json / BENCH_flight.json / BENCH_redist.json; all run
+## without -race so the measurements are honest).
 ci:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(GO) test -run TestNopOverheadBudget -count=1 ./internal/monitor/
 	$(GO) test -run TestFlightNopOverheadBudget -count=1 ./internal/flight/
+	$(GO) test -run TestRedistMappingBudget -count=1 .
 
 fmt:
 	@out="$$(gofmt -l .)"; \

@@ -1,0 +1,76 @@
+//go:build !race
+
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestRedistMappingBudget is the CI regression gate for the M×N mapping
+// fast path: every headline BenchmarkRedistributionMapping/<MxN> entry
+// recorded in BENCH_redist.json is re-measured via testing.Benchmark and
+// must stay within 20% of its recorded ns/op and allocs/op. The
+// /allpairs siblings are the measurement baseline, not a budget — they
+// are skipped, as are the pack/steady-state entries gated by their own
+// numbers being archived. Excluded under -race (instrumented builds time
+// nothing meaningful); refresh budgets with `make bench`.
+func TestRedistMappingBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark gate skipped in -short")
+	}
+	blob, err := os.ReadFile("BENCH_redist.json")
+	if err != nil {
+		t.Fatalf("BENCH_redist.json missing (run `make bench` to record): %v", err)
+	}
+	var entries []struct {
+		Name   string  `json:"name"`
+		Ns     float64 `json:"ns_per_op"`
+		Allocs float64 `json:"allocs_per_op"`
+	}
+	if err := json.Unmarshal(blob, &entries); err != nil {
+		t.Fatalf("BENCH_redist.json: %v", err)
+	}
+
+	const prefix = "BenchmarkRedistributionMapping/"
+	gomaxprocs := regexp.MustCompile(`-\d+$`) // go appends -N to recorded names
+	gated := 0
+	for _, e := range entries {
+		name := gomaxprocs.ReplaceAllString(e.Name, "")
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		scale := strings.TrimPrefix(name, prefix)
+		if strings.Contains(scale, "/") {
+			continue // /allpairs baseline: measured, never budgeted
+		}
+		var m, n int
+		if _, err := fmt.Sscanf(scale, "%dx%d", &m, &n); err != nil || m <= 0 || n <= 0 {
+			t.Fatalf("unparseable scale %q in %q", scale, e.Name)
+		}
+		if e.Ns <= 0 {
+			t.Fatalf("entry %q has no ns_per_op budget", e.Name)
+		}
+		gated++
+		res := testing.Benchmark(benchSweepMapping(m, n))
+		ns := float64(res.NsPerOp())
+		allocs := float64(res.AllocsPerOp())
+		t.Logf("%s: %.0f ns/op (budget %.0f), %.0f allocs/op (budget %.0f)",
+			scale, ns, e.Ns, allocs, e.Allocs)
+		if ns > e.Ns*1.2 {
+			t.Errorf("%s: %.0f ns/op regresses >20%% over recorded %.0f (refresh with `make bench` if intended)",
+				scale, ns, e.Ns)
+		}
+		if allocs > e.Allocs*1.2 {
+			t.Errorf("%s: %.0f allocs/op regresses >20%% over recorded %.0f",
+				scale, allocs, e.Allocs)
+		}
+	}
+	if gated == 0 {
+		t.Fatal("BENCH_redist.json holds no BenchmarkRedistributionMapping entries to gate")
+	}
+}

@@ -190,7 +190,24 @@ type fileReaderGroup struct {
 	nRanks int
 
 	mu    sync.Mutex
-	cache map[int64][]fileRecord // parsed steps, shared across ranks
+	cache map[int64][]fileRecord  // parsed steps, shared across ranks
+	idx   map[varIdxKey]*varIndex // per-(step,var) writer-box indexes
+}
+
+// varIdxKey identifies one variable's writer-box index in one step.
+type varIdxKey struct {
+	step int64
+	name string
+}
+
+// varIndex maps a step's writer boxes for one variable back to the
+// records carrying them: recs[i] is the step-record whose box the
+// interval index knows as rank i. Selection queries run in O(actual
+// overlaps) instead of a walk over every record.
+type varIndex struct {
+	recs     []int
+	elemSize int
+	index    *ndarray.IntervalIndex
 }
 
 func newFileReaderGroup(root, stream string, nRanks int) *fileReaderGroup {
@@ -198,7 +215,37 @@ func newFileReaderGroup(root, stream string, nRanks int) *fileReaderGroup {
 		dir:    filepath.Join(root, stream+".bp"),
 		nRanks: nRanks,
 		cache:  make(map[int64][]fileRecord),
+		idx:    make(map[varIdxKey]*varIndex),
 	}
+}
+
+// arrayIndex returns (building and caching if needed) the interval index
+// over the writer boxes of one variable in one step. Step containers are
+// immutable once published, so entries never invalidate; all ranks share
+// them like the parsed record cache.
+func (g *fileReaderGroup) arrayIndex(step int64, name string, recs []fileRecord) (*varIndex, error) {
+	key := varIdxKey{step: step, name: name}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if vi, ok := g.idx[key]; ok {
+		return vi, nil
+	}
+	vi := &varIndex{}
+	var boxes []ndarray.Box
+	for i := range recs {
+		if recs[i].meta.Name != name || recs[i].meta.Kind != core.GlobalArrayVar {
+			continue
+		}
+		vi.recs = append(vi.recs, i)
+		vi.elemSize = recs[i].meta.ElemSize
+		boxes = append(boxes, recs[i].meta.Box)
+	}
+	if vi.elemSize == 0 {
+		return nil, fmt.Errorf("adios: no array %q in step %d", name, step)
+	}
+	vi.index = ndarray.NewIntervalIndex(boxes)
+	g.idx[key] = vi
+	return vi, nil
 }
 
 // loadStep parses (or serves from cache) a step container; ok=false when
@@ -328,6 +375,7 @@ type fileReaderRank struct {
 	nextStep int64
 	inStep   bool
 	poll     time.Duration
+	overlaps []ndarray.OverlapTarget // query arena, reused across ReadArrays
 }
 
 func newFileReader(g *fileReaderGroup, rank int) *fileReaderRank {
@@ -394,36 +442,22 @@ func (r *fileReaderRank) ReadArray(name string) ([]byte, ndarray.Box, error) {
 	if !ok {
 		return nil, ndarray.Box{}, fmt.Errorf("adios: rank %d did not select %q", r.rank, name)
 	}
-	var elemSize int
-	for _, rec := range r.cur {
-		if rec.meta.Name == name && rec.meta.Kind == core.GlobalArrayVar {
-			elemSize = rec.meta.ElemSize
-		}
+	vi, err := r.g.arrayIndex(r.curStep, name, r.cur)
+	if err != nil {
+		return nil, sel, err
 	}
-	if elemSize == 0 {
-		return nil, sel, fmt.Errorf("adios: no array %q in step %d", name, r.curStep)
-	}
-	out := make([]byte, sel.NumElements()*int64(elemSize))
-	found := false
-	for _, rec := range r.cur {
-		if rec.meta.Name != name || rec.meta.Kind != core.GlobalArrayVar {
-			continue
-		}
-		ov, has := rec.meta.Box.Intersect(sel)
-		if !has {
-			continue
-		}
-		packed, err := ndarray.Pack(nil, rec.data, rec.meta.Box, ov, elemSize)
-		if err != nil {
-			return nil, sel, err
-		}
-		if err := ndarray.Unpack(out, packed, sel, ov, elemSize); err != nil {
-			return nil, sel, err
-		}
-		found = true
-	}
-	if !found {
+	out := make([]byte, sel.NumElements()*int64(vi.elemSize))
+	r.overlaps = vi.index.AppendOverlaps(r.overlaps, sel)
+	if len(r.overlaps) == 0 {
 		return nil, sel, fmt.Errorf("adios: no data overlaps selection %v of %q", sel, name)
+	}
+	for _, tgt := range r.overlaps {
+		rec := &r.cur[vi.recs[tgt.Rank]]
+		// Scatter each overlap straight from the record's bytes into the
+		// assembly buffer — no intermediate packed copy.
+		if err := ndarray.CopyRegion(out, rec.data, sel, rec.meta.Box, tgt.Region, vi.elemSize); err != nil {
+			return nil, sel, err
+		}
 	}
 	return out, sel, nil
 }

@@ -504,6 +504,7 @@ func (g *ReaderGroup) sendSelections() error {
 func decodeReaderSelections(ev *evpath.Event) (readerSelections, error) {
 	sel := readerSelections{
 		arrays:   make(map[string][]ndarray.Box),
+		decomps:  make(map[string]*ndarray.Decomposition),
 		pgClaims: make(map[int][]int),
 	}
 	n, _ := ev.Meta.GetInt("nreaders")
@@ -523,6 +524,9 @@ func decodeReaderSelections(ev *evpath.Event) (readerSelections, error) {
 				return sel, err
 			}
 			sel.arrays[name] = boxes
+			// One index per (variable, selection generation), shared by all
+			// writer ranks' plan builds.
+			sel.decomps[name] = &ndarray.Decomposition{Boxes: boxes}
 		}
 	}
 	if pg, ok := ev.Meta.GetInts("pgsel"); ok {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"flexio/internal/ndarray"
 )
 
@@ -64,24 +66,30 @@ func (g *WriterGroup) packPlansFor(w int, v varData, sel readerSelections, selBo
 
 	// Build outside the lock: plan construction is the expensive step the
 	// cache amortizes, and distinct (var, writer) keys may build
-	// concurrently under the parallel executor.
+	// concurrently under the parallel executor. The mapping itself runs on
+	// the decomposition's interval index — O(actual overlaps) instead of a
+	// walk over every reader box.
+	start := time.Now()
 	nd := len(v.meta.GlobalShape)
 	e := &varPlanEntry{gen: sel.gen, box: v.meta.Box, elemSize: v.meta.ElemSize}
-	for r := 0; r < len(selBoxes); r++ {
-		rb := selBoxes[r]
-		if rb.Empty() {
-			continue
-		}
-		ov, has := v.meta.Box.Intersect(rb)
-		if !has {
-			continue
-		}
+	dec := sel.decomps[v.meta.Name]
+	if dec == nil {
+		// Selections constructed outside the control plane (tests) carry no
+		// prebuilt decomposition; index the boxes ad hoc.
+		dec = &ndarray.Decomposition{Boxes: selBoxes}
+	}
+	// The arena stays local: builds are rare (plan-cache invalidations
+	// only) and may run concurrently across (var, writer) keys.
+	for _, tgt := range dec.Index().AppendOverlaps(nil, v.meta.Box) {
+		// The arena owns tgt.Region's storage; the cached target outlives
+		// this query, so copy.
+		ov := ndarray.NewBox(tgt.Region.Lo, tgt.Region.Hi)
 		plan, err := ndarray.NewPackPlan(v.meta.Box, ov, v.meta.ElemSize)
 		if err != nil {
 			return nil, err
 		}
 		e.targets = append(e.targets, packTarget{
-			reader:  r,
+			reader:  tgt.Rank,
 			region:  ov,
 			plan:    plan,
 			boxMeta: encodeBoxes([]ndarray.Box{ov}, nd),
@@ -92,6 +100,7 @@ func (g *WriterGroup) packPlansFor(w int, v varData, sel readerSelections, selBo
 	g.planMu.Unlock()
 	if g.mon != nil {
 		g.mon.Incr("plan.cache.build", 1)
+		g.mon.Set("plan.map_ns", time.Since(start).Nanoseconds())
 	}
 	return e, nil
 }
@@ -140,14 +149,17 @@ func (g *ReaderGroup) unpackPlanFor(name string, rank int, selBox, region ndarra
 // non-overlapping — the precondition for unpacking pieces into the
 // shared assembly buffer concurrently. Writer decompositions are
 // disjoint by construction, so this is the common case; overlapping
-// (replicated) writers fall back to sequential unpack.
+// (replicated) writers fall back to sequential unpack. The check runs on
+// every plan rebuild, so it uses the sort-based sweep (O(n log n))
+// rather than the all-pairs Intersect walk.
 func disjointRegions(ps []piece) bool {
-	for i := 0; i < len(ps); i++ {
-		for j := i + 1; j < len(ps); j++ {
-			if _, overlap := ps[i].box.Intersect(ps[j].box); overlap {
-				return false
-			}
-		}
+	if len(ps) < 2 {
+		return true
 	}
-	return true
+	boxes := make([]ndarray.Box, len(ps))
+	for i := range ps {
+		boxes[i] = ps[i].box
+	}
+	i, _ := ndarray.FirstOverlap(boxes)
+	return i < 0
 }

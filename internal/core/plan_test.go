@@ -70,8 +70,7 @@ func TestPiecesForSelectionMismatch(t *testing.T) {
 		nReaders: 3,
 		arrays:   map[string][]ndarray.Box{"f": {ndarray.BoxFromShape(shape)}}, // 1 box for 3 readers
 	}
-	var pooled [][]byte
-	if _, err := g.piecesFor(0, 0, v, sel, &pooled); err == nil {
+	if _, err := g.piecesFor(0, 0, v, sel); err == nil {
 		t.Fatal("selection/reader-count mismatch must be an explicit error, not silent truncation")
 	}
 }
@@ -91,15 +90,15 @@ func TestPiecesForUsesPlanCache(t *testing.T) {
 		gen:      1,
 		arrays:   map[string][]ndarray.Box{"f": {half, ndarray.NewBox([]int64{0, 4}, []int64{8, 8})}},
 	}
-	var pooled [][]byte
 	for step := 0; step < 3; step++ {
-		out, err := g.piecesFor(int64(step), 0, v, sel, &pooled)
+		out, err := g.piecesFor(int64(step), 0, v, sel)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if len(out) != 2 || len(out[0]) != 1 || len(out[1]) != 1 {
 			t.Fatalf("step %d: pieces %v", step, out)
 		}
+		g.releaseOutgoing(out)
 	}
 	if len(g.plans) != 1 {
 		t.Fatalf("plan cache holds %d entries, want 1", len(g.plans))
@@ -112,8 +111,10 @@ func TestPiecesForUsesPlanCache(t *testing.T) {
 	// A new selection generation invalidates the cached entry.
 	sel.gen = 2
 	sel.arrays["f"] = []ndarray.Box{ndarray.BoxFromShape(shape), {Lo: []int64{0, 0}, Hi: []int64{0, 0}}}
-	if _, err := g.piecesFor(3, 0, v, sel, &pooled); err != nil {
+	if out, err := g.piecesFor(3, 0, v, sel); err != nil {
 		t.Fatal(err)
+	} else {
+		g.releaseOutgoing(out)
 	}
 	entry = g.plans[varPlanKey{name: "f", writer: 0}]
 	if entry.gen != 2 || len(entry.targets) != 1 {
@@ -123,8 +124,10 @@ func TestPiecesForUsesPlanCache(t *testing.T) {
 	// A changed writer box (same generation) also invalidates.
 	v.meta.Box = ndarray.NewBox([]int64{0, 0}, []int64{4, 8})
 	v.data = make([]byte, 4*8*8)
-	if _, err := g.piecesFor(4, 0, v, sel, &pooled); err != nil {
+	if out, err := g.piecesFor(4, 0, v, sel); err != nil {
 		t.Fatal(err)
+	} else {
+		g.releaseOutgoing(out)
 	}
 	entry = g.plans[varPlanKey{name: "f", writer: 0}]
 	if !entry.box.Equal(v.meta.Box) {

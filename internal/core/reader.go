@@ -124,6 +124,11 @@ type piece struct {
 	elemSize int
 	box      ndarray.Box // overlap region (GlobalArrayVar)
 	data     []byte
+	// release is non-nil when data references the writer's pool buffer
+	// (same-node zero-copy hand-off). It must be called exactly once when
+	// the piece's bytes are no longer needed — EndStep for consumed steps,
+	// snapshotReplay after cloning — returning the buffer to the writer.
+	release func()
 }
 
 // Reader is one reader rank's handle.
@@ -235,8 +240,19 @@ func (g *ReaderGroup) acceptLoop(epoch uint64, r int, l *evpath.Listener) {
 }
 
 func (g *ReaderGroup) dataPump(epoch uint64, r int, conn evpath.Conn) {
+	// Same-node connections deliver array payloads by reference: the
+	// header is received by copy, the payload stays in the writer's pool
+	// buffer until the release callback hands it back.
+	hc, _ := conn.(evpath.HandleConn)
 	for {
-		buf, err := conn.Recv()
+		var buf, payload []byte
+		var release func()
+		var err error
+		if hc != nil {
+			buf, payload, release, err = hc.RecvHandle()
+		} else {
+			buf, err = conn.Recv()
+		}
 		if err != nil {
 			g.mu.Lock()
 			g.eofCnt[epoch]++
@@ -246,16 +262,30 @@ func (g *ReaderGroup) dataPump(epoch uint64, r int, conn evpath.Conn) {
 		}
 		ev, err := evpath.DecodeEvent(buf)
 		if err != nil {
+			if release != nil {
+				release()
+			}
 			continue
 		}
-		g.routeEvent(r, ev)
+		if payload != nil {
+			// buf was the meta-only header; reattaching the referenced
+			// payload reconstructs the event the writer encoded.
+			ev.Data = payload
+		}
+		g.routeEvent(r, ev, release)
 	}
 }
 
-func (g *ReaderGroup) routeEvent(r int, ev *evpath.Event) {
+// routeEvent dispatches one arriving event. release, when non-nil, owns
+// the hand-off of ev.Data back to the writer; every path must either
+// store it with the piece or invoke it.
+func (g *ReaderGroup) routeEvent(r int, ev *evpath.Event, release func()) {
 	kind, _ := ev.Meta.GetString("kind")
 	switch kind {
 	case "hello":
+		if release != nil {
+			release()
+		}
 		w, _ := ev.Meta.GetInt("writer")
 		nw, _ := ev.Meta.GetInt("nwriters")
 		g.mu.Lock()
@@ -269,6 +299,13 @@ func (g *ReaderGroup) routeEvent(r int, ev *evpath.Event) {
 		g.cond.Broadcast()
 		g.mu.Unlock()
 	case msgBatch:
+		// The writer never hands off batch frames, but a foreign producer
+		// might: detach from the referenced buffer before slicing
+		// sub-events out of it, since their Data would alias it.
+		if release != nil {
+			ev.Data = append([]byte(nil), ev.Data...)
+			release()
+		}
 		// Unpack sub-events: length-prefixed frames in the payload.
 		data := ev.Data
 		for len(data) >= 8 {
@@ -282,11 +319,14 @@ func (g *ReaderGroup) routeEvent(r int, ev *evpath.Event) {
 			if err != nil {
 				return
 			}
-			g.routeEvent(r, sub)
+			g.routeEvent(r, sub, nil)
 		}
 	case msgData:
-		g.acceptData(r, ev)
+		g.acceptData(r, ev, release)
 	case msgStepDone:
+		if release != nil {
+			release()
+		}
 		step, _ := ev.Meta.GetInt("step")
 		w, _ := ev.Meta.GetInt("writer")
 		g.mu.Lock()
@@ -297,15 +337,24 @@ func (g *ReaderGroup) routeEvent(r int, ev *evpath.Event) {
 		st.doneWriters[r][int(w)] = true
 		g.cond.Broadcast()
 		g.mu.Unlock()
+	default:
+		if release != nil {
+			release()
+		}
 	}
 }
 
-// acceptData runs the installed plug-ins and stores the piece.
-func (g *ReaderGroup) acceptData(r int, ev *evpath.Event) {
+// acceptData runs the installed plug-ins and stores the piece. release
+// (non-nil for zero-copy deliveries) is stored with the piece while
+// ev.Data still references the writer's buffer; if a plug-in drops the
+// event or substitutes its payload, the buffer goes back to the writer
+// here instead.
+func (g *ReaderGroup) acceptData(r int, ev *evpath.Event, release func()) {
 	// The step is read before the plug-in chain runs so the dc.plugin span
 	// correlates with the writer-side spans of the same timestep even when
 	// a filter rewrites or drops the event.
 	preStep, _ := ev.Meta.GetInt("step")
+	orig := ev.Data
 	g.mu.Lock()
 	plugins := g.plugins
 	g.mu.Unlock()
@@ -319,9 +368,18 @@ func (g *ReaderGroup) acceptData(r int, ev *evpath.Event) {
 			if g.mon != nil && err == nil {
 				g.mon.Incr("dc.dropped", 1)
 			}
+			if release != nil {
+				release()
+			}
 			return
 		}
 		ev = out
+	}
+	if release != nil && !sameBytes(ev.Data, orig) {
+		// A plug-in rewrote the payload: the stored piece owns the
+		// plug-in's bytes, the writer gets its buffer back now.
+		release()
+		release = nil
 	}
 
 	step, _ := ev.Meta.GetInt("step")
@@ -329,12 +387,15 @@ func (g *ReaderGroup) acceptData(r int, ev *evpath.Event) {
 	vk, _ := ev.Meta.GetInt("varkind")
 	es, _ := ev.Meta.GetInt("elemsize")
 	w, _ := ev.Meta.GetInt("writer")
-	p := piece{writer: int(w), kind: VarKind(vk), elemSize: int(es), data: ev.Data}
+	p := piece{writer: int(w), kind: VarKind(vk), elemSize: int(es), data: ev.Data, release: release}
 	if VarKind(vk) == GlobalArrayVar {
 		nd, _ := ev.Meta.GetInt("ndims")
 		flat, _ := ev.Meta.GetInts("box")
 		boxes, err := decodeBoxes(flat, int(nd), 1)
 		if err != nil {
+			if release != nil {
+				release()
+			}
 			return
 		}
 		p.box = boxes[0]
@@ -390,7 +451,16 @@ func snapshotReplay(st *readerStep, oldN, newN int) *replayStep {
 	}
 	for r := 0; r < oldN; r++ {
 		for name, pieces := range st.perReader[r] {
-			for _, p := range pieces {
+			for i := range pieces {
+				if pieces[i].release != nil {
+					// Replay outlives the current epoch's connections; a
+					// zero-copy piece must not pin the writer's buffer that
+					// long. Snapshot the bytes and return the buffer now.
+					pieces[i].data = append([]byte(nil), pieces[i].data...)
+					pieces[i].release()
+					pieces[i].release = nil
+				}
+				p := pieces[i]
 				switch p.kind {
 				case GlobalArrayVar:
 					rs.arrays[name] = append(rs.arrays[name], p)
@@ -736,6 +806,17 @@ func (r *Reader) EndStep() error {
 	}
 	st := g.steps[r.curStep]
 	if st != nil {
+		// Hand zero-copy payloads back to the writer: the step's pieces —
+		// unpacked by ReadArray or never read at all — are dead once the
+		// rank leaves the step.
+		for _, pieces := range st.perReader[r.Rank] {
+			for i := range pieces {
+				if pieces[i].release != nil {
+					pieces[i].release()
+					pieces[i].release = nil
+				}
+			}
+		}
 		delete(st.perReader, r.Rank)
 		// Drop the whole step once every rank has consumed it.
 		if len(st.perReader) == 0 {

@@ -154,6 +154,12 @@ type Options struct {
 	// released to the garbage collector, mirroring the shared-memory
 	// pool's configurable threshold.
 	PoolMaxBytes int64
+	// NoZeroCopy disables same-node handle passing: packed array payloads
+	// are copied through the shm channel even when the transport could
+	// hand the writer's pool buffer to the reader by reference. The zero
+	// value (zero-copy enabled) is the paper's XPMEM mode; disabling it is
+	// for A/B measurement and diagnosis.
+	NoZeroCopy bool
 }
 
 func (o *Options) withDefaults() Options {

@@ -121,6 +121,11 @@ type readerSelections struct {
 	// arrays[var][reader] is the reader's requested box (empty box = not
 	// selected by that reader).
 	arrays map[string][]ndarray.Box
+	// decomps wraps each variable's reader boxes as a Decomposition so the
+	// mapper's interval index is built once per selection generation and
+	// shared by every writer rank's plan build. Populated by
+	// decodeReaderSelections; may be nil for hand-built selections.
+	decomps map[string]*ndarray.Decomposition
 	// pgClaims[writerRank] lists reader ranks consuming that writer's
 	// process groups.
 	pgClaims map[int][]int
@@ -449,41 +454,78 @@ func (g *WriterGroup) flush(ps *pendingStep) error {
 // are independent.
 func (g *WriterGroup) sendPerVariable(ps *pendingStep, sel readerSelections, tr stepTrace) error {
 	return parallelFor(g.NWriters, g.opts.PackWorkers, func(w int) error {
-		var pooled [][]byte
-		defer func() {
-			for _, buf := range pooled {
-				g.payloadPool.Put(buf)
-			}
-		}()
 		for _, v := range ps.vars[w] {
 			packSpan := g.mon.StartSpan("writer.pack", ps.step, w).SetEpoch(tr.epoch).SetParent(tr.parent)
 			packEv := g.journal.Begin(flight.Event{
 				Kind: flight.KindCompute, Point: "writer.pack",
 				Rank: w, Step: ps.step, Epoch: tr.epoch, Parent: tr.jparent,
 			})
-			pieces, err := g.piecesFor(ps.step, w, v, sel, &pooled)
+			pieces, err := g.piecesFor(ps.step, w, v, sel)
 			g.journal.End(packEv)
 			packSpan.End()
 			if err != nil {
 				return err
 			}
-			for r, evs := range pieces {
-				for _, ev := range evs {
-					out, err := g.applyWriterPlugins(ev, ps.step, w, tr)
-					if err != nil {
-						return err
-					}
-					if out == nil {
-						continue
-					}
-					if err := g.sendEvent(w, r, out, ps.step, tr); err != nil {
-						return err
-					}
-				}
+			if err := g.sendOutgoing(w, ps.step, pieces, tr); err != nil {
+				return err
 			}
 		}
 		return nil
 	})
+}
+
+// sendOutgoing runs the plug-in chain and ships one variable's outgoing
+// events. Pool-owned payloads are either handed off to a same-node
+// reader by reference (returned to the pool by the reader's release) or
+// returned here once the copying send has encoded them.
+func (g *WriterGroup) sendOutgoing(w int, step int64, pieces map[int][]outgoing, tr stepTrace) error {
+	defer g.releaseOutgoing(pieces)
+	for r := range pieces {
+		ogs := pieces[r]
+		for i := range ogs {
+			og := &ogs[i]
+			out, err := g.applyWriterPlugins(og.ev, step, w, tr)
+			if err != nil {
+				return err
+			}
+			if out == nil {
+				continue
+			}
+			// Hand-off is only sound while the event's Data still is exactly
+			// the pool buffer; a plug-in that rewrote the payload breaks the
+			// aliasing and forces the copying path.
+			eligible := og.payload
+			if eligible != nil && !sameBytes(out.Data, eligible) {
+				eligible = nil
+			}
+			handed, err := g.sendPiece(w, r, out, step, tr, eligible)
+			if handed {
+				og.payload = nil // now owned by the receiver's release path
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// releaseOutgoing returns every payload not handed off back to the pool.
+func (g *WriterGroup) releaseOutgoing(pieces map[int][]outgoing) {
+	for _, ogs := range pieces {
+		for i := range ogs {
+			if ogs[i].payload != nil {
+				g.payloadPool.Put(ogs[i].payload)
+				ogs[i].payload = nil
+			}
+		}
+	}
+}
+
+// sameBytes reports whether a and b are the identical slice (same base
+// pointer and length), i.e. a still aliases exactly b.
+func sameBytes(a, b []byte) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
 }
 
 // applyWriterPlugins runs the deployed data-conditioning chain on one
@@ -513,6 +555,9 @@ func (g *WriterGroup) applyWriterPlugins(ev *evpath.Event, step int64, w int, tr
 // sendPerVariable, writer ranks run in parallel.
 func (g *WriterGroup) sendBatched(ps *pendingStep, sel readerSelections, tr stepTrace) error {
 	return parallelFor(g.NWriters, g.opts.PackWorkers, func(w int) error {
+		// Batching concatenates payloads into one frame per reader, so the
+		// pooled buffers are always copied (never handed off) and returned
+		// once every batch has been encoded.
 		var pooled [][]byte
 		defer func() {
 			for _, buf := range pooled {
@@ -526,14 +571,19 @@ func (g *WriterGroup) sendBatched(ps *pendingStep, sel readerSelections, tr step
 				Kind: flight.KindCompute, Point: "writer.pack",
 				Rank: w, Step: ps.step, Epoch: tr.epoch, Parent: tr.jparent,
 			})
-			pieces, err := g.piecesFor(ps.step, w, v, sel, &pooled)
+			pieces, err := g.piecesFor(ps.step, w, v, sel)
 			g.journal.End(packEv)
 			packSpan.End()
 			if err != nil {
 				return err
 			}
-			for r, evs := range pieces {
-				perReader[r] = append(perReader[r], evs...)
+			for r, ogs := range pieces {
+				for _, og := range ogs {
+					perReader[r] = append(perReader[r], og.ev)
+					if og.payload != nil {
+						pooled = append(pooled, og.payload)
+					}
+				}
 			}
 		}
 		for r, evs := range perReader {
@@ -577,16 +627,27 @@ func (g *WriterGroup) sendBatched(ps *pendingStep, sel readerSelections, tr step
 	})
 }
 
+// outgoing pairs one data event with the pool-owned buffer backing its
+// Data, when the event has a dedicated packed payload. A nil payload
+// means Data is shared state (a deposited variable copy broadcast to
+// several readers) that the flush path releases; a non-nil payload is
+// owned by exactly this event and is either handed off to a same-node
+// reader by reference or returned to the pool after the copying send.
+type outgoing struct {
+	ev      *evpath.Event
+	payload []byte
+}
+
 // piecesFor computes the pieces writer w must send for variable v,
 // keyed by reader rank. This is the per-process mapping computation: the
 // overlap of the writer's box with each reader's requested box. For
 // global arrays the geometry comes from the redistribution plan cache,
-// and packed payloads are drawn from the payload pool; the pooled
-// buffers are appended to *pooled and must be returned by the caller
-// once every event referencing them has been encoded onto its
-// connection.
-func (g *WriterGroup) piecesFor(step int64, w int, v varData, sel readerSelections, pooled *[][]byte) (map[int][]*evpath.Event, error) {
-	out := make(map[int][]*evpath.Event)
+// and packed payloads are drawn from the payload pool; ownership of
+// those buffers passes to the caller with the returned outgoing entries
+// (releaseOutgoing returns any that are not handed off). On error no
+// pooled buffer remains checked out.
+func (g *WriterGroup) piecesFor(step int64, w int, v varData, sel readerSelections) (map[int][]outgoing, error) {
+	out := make(map[int][]outgoing)
 	switch v.meta.Kind {
 	case ScalarVar:
 		// Rank 0 broadcasts scalars.
@@ -594,25 +655,25 @@ func (g *WriterGroup) piecesFor(step int64, w int, v varData, sel readerSelectio
 			return out, nil
 		}
 		for r := 0; r < sel.nReaders; r++ {
-			out[r] = append(out[r], &evpath.Event{
+			out[r] = append(out[r], outgoing{ev: &evpath.Event{
 				Meta: evpath.Record{
 					"kind": msgData, "step": step, "var": v.meta.Name,
 					"varkind": int64(ScalarVar), "elemsize": int64(v.meta.ElemSize),
 					"writer": int64(w),
 				},
 				Data: v.data,
-			})
+			}})
 		}
 	case ProcessGroupVar:
 		for _, r := range sel.pgClaims[w] {
-			out[r] = append(out[r], &evpath.Event{
+			out[r] = append(out[r], outgoing{ev: &evpath.Event{
 				Meta: evpath.Record{
 					"kind": msgData, "step": step, "var": v.meta.Name,
 					"varkind": int64(ProcessGroupVar), "elemsize": int64(v.meta.ElemSize),
 					"writer": int64(w),
 				},
 				Data: v.data,
-			})
+			}})
 		}
 	case GlobalArrayVar:
 		selBoxes, ok := sel.arrays[v.meta.Name]
@@ -634,22 +695,27 @@ func (g *WriterGroup) piecesFor(step int64, w int, v varData, sel readerSelectio
 		for i := range entry.targets {
 			tgt := &entry.targets[i]
 			packed, err := g.payloadPool.Get(int(tgt.plan.Bytes()))
+			if err == nil {
+				err = tgt.plan.Execute(packed, v.data)
+				if err != nil {
+					g.payloadPool.Put(packed)
+				}
+			}
 			if err != nil {
+				g.releaseOutgoing(out)
 				return nil, err
 			}
-			if err := tgt.plan.Execute(packed, v.data); err != nil {
-				g.payloadPool.Put(packed)
-				return nil, err
-			}
-			*pooled = append(*pooled, packed)
-			out[tgt.reader] = append(out[tgt.reader], &evpath.Event{
-				Meta: evpath.Record{
-					"kind": msgData, "step": step, "var": v.meta.Name,
-					"varkind": int64(GlobalArrayVar), "elemsize": int64(v.meta.ElemSize),
-					"ndims": nd, "box": tgt.boxMeta,
-					"writer": int64(w),
+			out[tgt.reader] = append(out[tgt.reader], outgoing{
+				ev: &evpath.Event{
+					Meta: evpath.Record{
+						"kind": msgData, "step": step, "var": v.meta.Name,
+						"varkind": int64(GlobalArrayVar), "elemsize": int64(v.meta.ElemSize),
+						"ndims": nd, "box": tgt.boxMeta,
+						"writer": int64(w),
+					},
+					Data: packed,
 				},
-				Data: packed,
+				payload: packed,
 			})
 		}
 	}
@@ -657,11 +723,38 @@ func (g *WriterGroup) piecesFor(step int64, w int, v varData, sel readerSelectio
 }
 
 func (g *WriterGroup) sendEvent(w, r int, ev *evpath.Event, step int64, tr stepTrace) error {
-	buf, err := evpath.EncodeEvent(ev)
-	if err != nil {
-		return err
-	}
+	_, err := g.sendPiece(w, r, ev, step, tr, nil)
+	return err
+}
+
+// sendPiece delivers one event to reader r. When payload is non-nil (a
+// pool buffer aliased exactly by ev.Data) and the connection supports
+// handle passing, only the encoded metadata header crosses by copy: the
+// payload is handed to the reader by reference and returns to the pool
+// through the release callback once the reader unpacked it. handedOff
+// reports whether that transfer of ownership happened; if false the
+// caller still owns payload. The send span/journal event keeps the
+// "send.<transport>" point either way — on the zero-copy path its Bytes
+// shrink to the header, which is how the critical path shows the
+// writer→reader seam collapsing to handle-passing cost.
+func (g *WriterGroup) sendPiece(w, r int, ev *evpath.Event, step int64, tr stepTrace, payload []byte) (handedOff bool, err error) {
 	conn := g.conns[w][r]
+	var hc evpath.HandleConn
+	if payload != nil && !g.opts.NoZeroCopy {
+		hc, _ = conn.(evpath.HandleConn)
+	}
+	var buf []byte
+	if hc != nil {
+		// Meta-only header: the reader reattaches the referenced payload,
+		// reconstructing exactly EncodeEvent(ev)'s framing.
+		hdr := evpath.Event{Meta: ev.Meta}
+		buf, err = evpath.EncodeEvent(&hdr)
+	} else {
+		buf, err = evpath.EncodeEvent(ev)
+	}
+	if err != nil {
+		return false, err
+	}
 	var sendSpan monitor.ActiveSpan
 	if g.mon != nil { // guard: span name concat must not run on the nil path
 		sendSpan = g.mon.StartSpan("send."+conn.Transport(), step, w).SetEpoch(tr.epoch).SetParent(tr.parent)
@@ -675,17 +768,56 @@ func (g *WriterGroup) sendEvent(w, r int, ev *evpath.Event, step int64, tr stepT
 			Bytes: int64(len(buf)),
 		})
 	}
-	err = g.sendWithRetry(conn, buf)
+	if hc != nil {
+		err = hc.SendHandle(buf, payload, func() { g.payloadPool.Put(payload) })
+		switch {
+		case err == nil:
+			handedOff = true
+		case errors.Is(err, evpath.ErrNoHandle):
+			// Header too large for the inline queue: re-encode with the
+			// payload attached and copy it across.
+			if buf, err = evpath.EncodeEvent(ev); err == nil {
+				err = g.sendWithRetry(conn, buf)
+			}
+		}
+	} else {
+		err = g.sendWithRetry(conn, buf)
+	}
 	g.journal.End(sendEv)
 	sendSpan.End()
+	if g.mon != nil && payload != nil && conn.Transport() == "shm" {
+		// Same-node array payload: did it cross by reference?
+		if handedOff {
+			g.mon.Incr("shm.zerocopy_hits", 1)
+		} else {
+			g.mon.Incr("shm.zerocopy_fallbacks", 1)
+		}
+	}
 	if err != nil {
-		return err
+		if !errors.Is(err, ErrSessionClosed) {
+			g.selMu.Lock()
+			gone := g.readerClosed
+			g.selMu.Unlock()
+			if gone {
+				err = fmt.Errorf("%w: %v", ErrSessionClosed, err)
+			}
+		}
+		return handedOff, err
 	}
 	if g.mon != nil {
 		g.mon.Incr("data.msgs", 1)
-		g.mon.AddVolume("data.bytes", int64(len(buf)))
+		g.mon.AddVolume("data.bytes", int64(len(buf))+int64(len(payload)*btoi(handedOff)))
 	}
-	return nil
+	return handedOff, nil
+}
+
+// btoi is 1 for true, 0 for false (volume accounting: a handed-off
+// payload still moved to the reader even though it was not copied).
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // sendWithRetry implements the runtime's timeout-and-retry resiliency

@@ -55,6 +55,27 @@ func (k TransportKind) String() string {
 // ErrPeerUnknown reports a Dial to a name nobody listens on.
 var ErrPeerUnknown = errors.New("evpath: no listener for peer")
 
+// ErrNoHandle reports a SendHandle the transport cannot express (e.g. a
+// header too large to ride the inline queue); the caller should fall back
+// to a copying Send.
+var ErrNoHandle = errors.New("evpath: transport cannot pass payload handle")
+
+// HandleConn is the optional interface of transports that can deliver a
+// payload by reference instead of by copy — the same-node XPMEM-style
+// hand-off. SendHandle transfers payload ownership to the transport until
+// the receiver's release callback runs (exactly once, from any
+// goroutine); release also runs if the connection closes first, so
+// producer buffers are never stranded. RecvHandle returns (msg, nil, nil)
+// for ordinary copied messages interleaved on the same connection and
+// (hdr, payload, release) for handle deliveries; the caller must invoke
+// release once it no longer reads payload. A receiver that only calls
+// Recv still works: handle messages are flattened to hdr⧺payload by copy.
+type HandleConn interface {
+	Conn
+	SendHandle(hdr, payload []byte, release func()) error
+	RecvHandle() (msg []byte, payload []byte, release func(), err error)
+}
+
 // Net is the in-process connection manager: listeners register by contact
 // name, dialers connect by name and transport kind. It owns the RDMA
 // fabric used by RDMA-kind connections.
@@ -244,6 +265,33 @@ func (c *shmConn) Recv() ([]byte, error) {
 		return nil, io.EOF
 	}
 	return m, nil
+}
+
+// SendHandle implements HandleConn over the shm channel's handle-passing
+// message kind: the header is copied inline, the payload crosses by
+// reference and returns to the producer via release.
+func (c *shmConn) SendHandle(hdr, payload []byte, release func()) error {
+	switch err := c.tx.SendHandle(hdr, payload, release); {
+	case err == nil:
+		return nil
+	case errors.Is(err, shm.ErrHandleTooLarge):
+		return ErrNoHandle
+	case errors.Is(err, shm.ErrClosed):
+		return io.ErrClosedPipe
+	default:
+		return err
+	}
+}
+
+// RecvHandle implements HandleConn: handle messages surface the
+// producer's buffer by reference, all other kinds arrive as a plain
+// copied message with a nil payload.
+func (c *shmConn) RecvHandle() ([]byte, []byte, func(), error) {
+	m, ok := c.rx.RecvMsg(nil)
+	if !ok {
+		return nil, nil, nil, io.EOF
+	}
+	return m.Msg, m.Payload, m.Release, nil
 }
 
 func (c *shmConn) Close() error {

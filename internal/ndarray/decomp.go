@@ -12,6 +12,8 @@ import (
 type Decomposition struct {
 	Global Box   // full index space of the array
 	Boxes  []Box // Boxes[r] is the region owned by rank r; may be empty
+
+	idx *IntervalIndex // lazily built by Index(); guarded by indexMu
 }
 
 // NumRanks reports the number of ranks in the decomposition.
@@ -28,11 +30,10 @@ func (d *Decomposition) Validate() error {
 		if !d.Global.ContainsBox(b) {
 			return fmt.Errorf("ndarray: rank %d box %v outside global %v", r, b, d.Global)
 		}
-		for q := r + 1; q < len(d.Boxes); q++ {
-			if ov, ok := b.Intersect(d.Boxes[q]); ok {
-				return fmt.Errorf("ndarray: rank %d and %d overlap on %v", r, q, ov)
-			}
-		}
+	}
+	if r, q := FirstOverlap(d.Boxes); r >= 0 {
+		ov, _ := d.Boxes[r].Intersect(d.Boxes[q])
+		return fmt.Errorf("ndarray: rank %d and %d overlap on %v", r, q, ov)
 	}
 	return nil
 }
@@ -148,6 +149,12 @@ func factorize(n int) []int {
 // receiver box. The result maps receiver rank to the overlap box, omitting
 // empty overlaps. This is the per-process mapping computation of the
 // FlexIO data movement protocol (Step 4).
+//
+// This is the reference all-pairs implementation: O(ranks) intersections
+// and a fresh map per call. The production mapper is
+// Index().AppendOverlaps, which is sub-linear and allocation-free in
+// steady state; Overlaps is kept as the oracle the property tests compare
+// it against.
 func Overlaps(senderBox Box, readers *Decomposition) map[int]Box {
 	out := make(map[int]Box)
 	for r, rb := range readers.Boxes {

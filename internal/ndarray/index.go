@@ -1,0 +1,275 @@
+package ndarray
+
+import (
+	"sort"
+	"sync"
+)
+
+// Interval index over a Decomposition's rank boxes. The seed mapper
+// (Overlaps) walked every (sender, receiver) pair, which is O(M·N) box
+// intersections per reconfigure; at 2048×64 that is ~131k Intersect calls
+// and a fresh map per writer. The index below is built once per
+// decomposition and answers "which ranks overlap this query box" in
+// O(log n + candidates) by scanning a sorted interval list along a single
+// pivot dimension, so the whole M×N mapping costs O(actual overlaps).
+//
+// Layout: for each dimension d the index stores the distinct (lo, hi)
+// intervals of the rank boxes, sorted by lo, each carrying the ranks that
+// own it. prefixMaxHi[i] is max(entries[0..i].hi), which lets a backward
+// scan stop as soon as no earlier interval can still reach the query
+// (classic sorted-endpoint sweep). Queries use the pivot dimension — the
+// one with the most distinct intervals, i.e. the most discriminating cut —
+// and verify candidates with a full per-dimension intersection test, so
+// correctness never depends on the pivot choice.
+
+// OverlapTarget is one (receiver rank, overlap region) pair produced by a
+// mapping query. Region's Lo/Hi slices belong to the arena passed to
+// AppendOverlaps and are overwritten by the next query that reuses the
+// arena; callers that retain a region across queries must copy it
+// (NewBox).
+type OverlapTarget struct {
+	Rank   int
+	Region Box
+}
+
+// dimEntry is one distinct interval along a dimension and the ranks whose
+// boxes project onto exactly [lo, hi) there.
+type dimEntry struct {
+	lo, hi int64
+	ranks  []int32
+}
+
+type dimIndex struct {
+	entries     []dimEntry
+	prefixMaxHi []int64
+}
+
+// IntervalIndex answers box-overlap queries against a fixed set of rank
+// boxes. It is immutable after construction and safe for concurrent
+// queries.
+type IntervalIndex struct {
+	ndims int
+	boxes []Box // aliases the source decomposition's boxes
+	dims  []dimIndex
+	pivot int
+}
+
+// NewIntervalIndex builds an index over boxes (typically
+// Decomposition.Boxes). Empty boxes and boxes whose rank differs from the
+// first non-empty box are unindexed and never returned. The boxes slice
+// is retained (not copied); mutating it afterwards invalidates the index.
+func NewIntervalIndex(boxes []Box) *IntervalIndex {
+	ix := &IntervalIndex{ndims: -1, boxes: boxes}
+	for _, b := range boxes {
+		if !b.Empty() {
+			ix.ndims = b.NDims()
+			break
+		}
+	}
+	if ix.ndims <= 0 {
+		return ix
+	}
+	type rec struct {
+		lo, hi int64
+		rank   int32
+	}
+	recs := make([]rec, 0, len(boxes))
+	ix.dims = make([]dimIndex, ix.ndims)
+	for d := 0; d < ix.ndims; d++ {
+		recs = recs[:0]
+		for r, b := range boxes {
+			if b.Empty() || b.NDims() != ix.ndims {
+				continue
+			}
+			recs = append(recs, rec{lo: b.Lo[d], hi: b.Hi[d], rank: int32(r)})
+		}
+		sort.Slice(recs, func(i, j int) bool {
+			if recs[i].lo != recs[j].lo {
+				return recs[i].lo < recs[j].lo
+			}
+			if recs[i].hi != recs[j].hi {
+				return recs[i].hi < recs[j].hi
+			}
+			return recs[i].rank < recs[j].rank
+		})
+		di := &ix.dims[d]
+		for i := 0; i < len(recs); {
+			j := i
+			for j < len(recs) && recs[j].lo == recs[i].lo && recs[j].hi == recs[i].hi {
+				j++
+			}
+			ranks := make([]int32, j-i)
+			for k := i; k < j; k++ {
+				ranks[k-i] = recs[k].rank
+			}
+			di.entries = append(di.entries, dimEntry{lo: recs[i].lo, hi: recs[i].hi, ranks: ranks})
+			i = j
+		}
+		di.prefixMaxHi = make([]int64, len(di.entries))
+		for i, e := range di.entries {
+			di.prefixMaxHi[i] = e.hi
+			if i > 0 && di.prefixMaxHi[i-1] > e.hi {
+				di.prefixMaxHi[i] = di.prefixMaxHi[i-1]
+			}
+		}
+		if len(di.entries) > len(ix.dims[ix.pivot].entries) {
+			ix.pivot = d
+		}
+	}
+	return ix
+}
+
+// AppendOverlaps appends one OverlapTarget per indexed rank whose box
+// overlaps q, in ascending rank order, and returns the extended slice.
+// dst is reset to length zero first: passing the previous result back in
+// reuses both the slice and each entry's Region storage, making
+// steady-state queries allocation-free. Results are identical (as a set)
+// to the reference all-pairs Overlaps.
+func (ix *IntervalIndex) AppendOverlaps(dst []OverlapTarget, q Box) []OverlapTarget {
+	dst = dst[:0]
+	if ix.ndims <= 0 || q.NDims() != ix.ndims || q.Empty() {
+		return dst
+	}
+	di := &ix.dims[ix.pivot]
+	qlo, qhi := q.Lo[ix.pivot], q.Hi[ix.pivot]
+	// Binary search for the first interval starting at or beyond q's end;
+	// everything from there on cannot overlap along the pivot.
+	lo, hi := 0, len(di.entries)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if di.entries[mid].lo < qhi {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// Scan backward; prefixMaxHi bounds how far an earlier interval can
+	// reach, so the scan stops at the first position that cannot overlap.
+	for i := lo - 1; i >= 0; i-- {
+		if di.prefixMaxHi[i] <= qlo {
+			break
+		}
+		e := &di.entries[i]
+		if e.hi <= qlo {
+			continue
+		}
+		for _, r := range e.ranks {
+			dst = ix.appendIfOverlaps(dst, int(r), q)
+		}
+	}
+	// Each rank appears in exactly one pivot interval, so dst is
+	// duplicate-free; insertion sort restores ascending rank order without
+	// allocating (candidate lists are short and nearly sorted).
+	for i := 1; i < len(dst); i++ {
+		for j := i; j > 0 && dst[j].Rank < dst[j-1].Rank; j-- {
+			dst[j], dst[j-1] = dst[j-1], dst[j]
+		}
+	}
+	return dst
+}
+
+// appendIfOverlaps extends dst with the (rank, overlap) pair if rank's box
+// overlaps q in every dimension, reusing dst's entry storage.
+func (ix *IntervalIndex) appendIfOverlaps(dst []OverlapTarget, rank int, q Box) []OverlapTarget {
+	b := ix.boxes[rank]
+	nd := ix.ndims
+	n := len(dst)
+	if n < cap(dst) {
+		dst = dst[:n+1]
+	} else {
+		dst = append(dst, OverlapTarget{})
+	}
+	t := &dst[n]
+	if cap(t.Region.Lo) < nd {
+		t.Region.Lo = make([]int64, nd)
+	}
+	if cap(t.Region.Hi) < nd {
+		t.Region.Hi = make([]int64, nd)
+	}
+	rlo, rhi := t.Region.Lo[:nd], t.Region.Hi[:nd]
+	for d := 0; d < nd; d++ {
+		l, h := max64(q.Lo[d], b.Lo[d]), min64(q.Hi[d], b.Hi[d])
+		if h <= l {
+			return dst[:n]
+		}
+		rlo[d], rhi[d] = l, h
+	}
+	t.Rank = rank
+	t.Region.Lo, t.Region.Hi = rlo, rhi
+	return dst
+}
+
+// indexMu guards the lazily-built index pointer on every Decomposition.
+// Contention is negligible: the lock covers a pointer check, and distinct
+// decompositions only collide on the first build after an invalidation.
+var indexMu sync.Mutex
+
+// Index returns the decomposition's interval index, building and caching
+// it on first use. The cache is invalidated by InvalidateIndex (call it
+// after mutating Boxes). Safe for concurrent use.
+func (d *Decomposition) Index() *IntervalIndex {
+	indexMu.Lock()
+	defer indexMu.Unlock()
+	if d.idx == nil {
+		d.idx = NewIntervalIndex(d.Boxes)
+	}
+	return d.idx
+}
+
+// InvalidateIndex drops the cached interval index; the next Index call
+// rebuilds it. Must be called after mutating d.Boxes in place.
+func (d *Decomposition) InvalidateIndex() {
+	indexMu.Lock()
+	d.idx = nil
+	indexMu.Unlock()
+}
+
+// FirstOverlap returns the indices (i, j), i < j, of one overlapping pair
+// among boxes, or (-1, -1) when all pairs are disjoint. It sorts box
+// indices by Lo[0] and sweeps: a later box whose Lo[0] has passed an
+// earlier box's Hi[0] can never overlap it, so each box is compared only
+// against its actual neighbors along dimension 0 — O(n log n + overlapping
+// candidates) instead of the all-pairs O(n²). Empty boxes and boxes of
+// mismatched rank never overlap anything.
+func FirstOverlap(boxes []Box) (int, int) {
+	order := make([]int32, 0, len(boxes))
+	for i, b := range boxes {
+		if !b.Empty() {
+			order = append(order, int32(i))
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return boxes[order[a]].Lo[0] < boxes[order[b]].Lo[0]
+	})
+	for a := 0; a < len(order); a++ {
+		ba := boxes[order[a]]
+		for b := a + 1; b < len(order); b++ {
+			bb := boxes[order[b]]
+			if bb.Lo[0] >= ba.Hi[0] {
+				break
+			}
+			if boxesOverlap(ba, bb) {
+				i, j := int(order[a]), int(order[b])
+				if i > j {
+					i, j = j, i
+				}
+				return i, j
+			}
+		}
+	}
+	return -1, -1
+}
+
+// boxesOverlap reports whether two non-empty boxes share any index point,
+// without allocating the intersection.
+func boxesOverlap(a, b Box) bool {
+	if len(a.Lo) != len(b.Lo) {
+		return false
+	}
+	for d := range a.Lo {
+		if min64(a.Hi[d], b.Hi[d]) <= max64(a.Lo[d], b.Lo[d]) {
+			return false
+		}
+	}
+	return true
+}

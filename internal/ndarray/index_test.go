@@ -1,0 +1,249 @@
+package ndarray
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// checkAgainstOverlaps asserts AppendOverlaps is set-identical to the
+// reference all-pairs Overlaps for query q against dec.
+func checkAgainstOverlaps(t *testing.T, dec *Decomposition, q Box, arena []OverlapTarget) []OverlapTarget {
+	t.Helper()
+	want := Overlaps(q, dec)
+	arena = dec.Index().AppendOverlaps(arena, q)
+	if len(arena) != len(want) {
+		t.Fatalf("query %v: sweep found %d targets, reference %d (%v vs %v)",
+			q, len(arena), len(want), arena, want)
+	}
+	prev := -1
+	for _, tg := range arena {
+		if tg.Rank <= prev {
+			t.Fatalf("query %v: targets not in ascending rank order: %v", q, arena)
+		}
+		prev = tg.Rank
+		ref, ok := want[tg.Rank]
+		if !ok {
+			t.Fatalf("query %v: sweep reported rank %d, reference did not", q, tg.Rank)
+		}
+		if !tg.Region.Equal(ref) {
+			t.Fatalf("query %v rank %d: sweep region %v != reference %v", q, tg.Rank, tg.Region, ref)
+		}
+	}
+	return arena
+}
+
+// randomDecomp builds a randomized decomposition: an uneven block grid,
+// optionally dilated by ghost cells (making boxes overlap), with some
+// boxes degenerate (single cell) or empty.
+func randomDecomp(rng *rand.Rand) *Decomposition {
+	nd := 1 + rng.Intn(3)
+	shape := make([]int64, nd)
+	grid := make([]int, nd)
+	for d := range shape {
+		shape[d] = int64(1 + rng.Intn(40))
+		grid[d] = 1 + rng.Intn(4)
+	}
+	dec, err := BlockDecompose(shape, grid)
+	if err != nil {
+		panic(err)
+	}
+	ghost := int64(rng.Intn(3))
+	for r := range dec.Boxes {
+		b := &dec.Boxes[r]
+		switch rng.Intn(10) {
+		case 0: // empty box: rank holds nothing this round
+			for d := range b.Lo {
+				b.Hi[d] = b.Lo[d]
+			}
+		case 1: // degenerate 1-cell box
+			for d := range b.Lo {
+				b.Hi[d] = b.Lo[d] + 1
+			}
+		default: // dilate by ghost cells, clipped to the global box
+			for d := range b.Lo {
+				b.Lo[d] = max64(b.Lo[d]-ghost, dec.Global.Lo[d])
+				b.Hi[d] = min64(b.Hi[d]+ghost, dec.Global.Hi[d])
+			}
+		}
+	}
+	dec.InvalidateIndex()
+	return dec
+}
+
+func randomQuery(rng *rand.Rand, global Box) Box {
+	nd := global.NDims()
+	lo := make([]int64, nd)
+	hi := make([]int64, nd)
+	for d := 0; d < nd; d++ {
+		ext := global.Hi[d] - global.Lo[d]
+		lo[d] = global.Lo[d] + rng.Int63n(ext)
+		hi[d] = lo[d] + 1 + rng.Int63n(ext-(lo[d]-global.Lo[d]))
+	}
+	return Box{Lo: lo, Hi: hi}
+}
+
+// TestIndexMatchesOverlapsProperty drives the sweep mapper against the
+// all-pairs reference on hundreds of randomized decompositions: uneven
+// grids, ghost-dilated (overlapping) boxes, degenerate 1-cell boxes and
+// empty ranks, with both random sub-box queries and the rank boxes
+// themselves as queries (the M×N case).
+func TestIndexMatchesOverlapsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	var arena []OverlapTarget
+	for round := 0; round < 300; round++ {
+		dec := randomDecomp(rng)
+		for q := 0; q < 8; q++ {
+			arena = checkAgainstOverlaps(t, dec, randomQuery(rng, dec.Global), arena)
+		}
+		for _, wb := range dec.Boxes {
+			arena = checkAgainstOverlaps(t, dec, wb, arena)
+		}
+	}
+}
+
+// FuzzIndexMatchesOverlaps is the seed-corpus form of the same property,
+// so `go test -fuzz` can explore decomposition shapes beyond the fixed
+// random rounds.
+func FuzzIndexMatchesOverlaps(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(42))
+	f.Add(int64(-7))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		dec := randomDecomp(rng)
+		var arena []OverlapTarget
+		for q := 0; q < 4; q++ {
+			arena = checkAgainstOverlaps(t, dec, randomQuery(rng, dec.Global), arena)
+		}
+		for _, wb := range dec.Boxes {
+			arena = checkAgainstOverlaps(t, dec, wb, arena)
+		}
+	})
+}
+
+// TestIndexArenaReuse verifies the arena contract: reusing the returned
+// slice across queries yields correct results, and regions written by a
+// later query overwrite storage from an earlier one (so retained regions
+// must be copied).
+func TestIndexArenaReuse(t *testing.T) {
+	dec, err := BlockDecompose([]int64{16, 16}, []int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := dec.Index()
+	q1 := Box{Lo: []int64{0, 0}, Hi: []int64{8, 8}}   // exactly rank 0
+	q2 := Box{Lo: []int64{8, 8}, Hi: []int64{16, 16}} // exactly rank 3
+	arena := idx.AppendOverlaps(nil, q1)
+	if len(arena) != 1 || arena[0].Rank != 0 {
+		t.Fatalf("q1 targets = %v, want rank 0 only", arena)
+	}
+	held := arena[0].Region // not copied: the arena owns this storage
+	arena = idx.AppendOverlaps(arena, q2)
+	if len(arena) != 1 || arena[0].Rank != 3 {
+		t.Fatalf("q2 targets = %v, want rank 3 only", arena)
+	}
+	if held.Lo[0] != 8 {
+		t.Fatalf("arena region storage not reused: held.Lo = %v, want overwritten to 8", held.Lo)
+	}
+	kept := NewBox(arena[0].Region.Lo, arena[0].Region.Hi)
+	idx.AppendOverlaps(arena, q1)
+	if kept.Lo[0] != 8 || kept.Hi[0] != 16 {
+		t.Fatalf("copied region mutated by later query: %v", kept)
+	}
+}
+
+// TestIndexInvalidation checks that Index() caches and InvalidateIndex
+// forces a rebuild that observes mutated boxes.
+func TestIndexInvalidation(t *testing.T) {
+	dec, err := BlockDecompose([]int64{8}, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Index() != dec.Index() {
+		t.Fatal("Index() rebuilt despite no invalidation")
+	}
+	q := Box{Lo: []int64{0}, Hi: []int64{8}}
+	if got := dec.Index().AppendOverlaps(nil, q); len(got) != 2 {
+		t.Fatalf("initial query found %d targets, want 2", len(got))
+	}
+	dec.Boxes[1] = Box{Lo: []int64{4}, Hi: []int64{4}} // rank 1 now empty
+	dec.InvalidateIndex()
+	if got := dec.Index().AppendOverlaps(nil, q); len(got) != 1 || got[0].Rank != 0 {
+		t.Fatalf("post-invalidation query = %v, want rank 0 only", got)
+	}
+}
+
+// TestFirstOverlapMatchesPairwise compares the sort-based sweep against
+// the brute-force pairwise check on randomized box sets.
+func TestFirstOverlapMatchesPairwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 500; round++ {
+		n := rng.Intn(12)
+		boxes := make([]Box, n)
+		for i := range boxes {
+			lo := rng.Int63n(20)
+			boxes[i] = Box{
+				Lo: []int64{lo, rng.Int63n(20)},
+				Hi: []int64{lo + rng.Int63n(6), rng.Int63n(20)},
+			}
+			boxes[i].Hi[1] = boxes[i].Lo[1] + rng.Int63n(6)
+		}
+		anyPair := false
+		for i := 0; i < n && !anyPair; i++ {
+			for j := i + 1; j < n; j++ {
+				if boxesOverlap(boxes[i], boxes[j]) {
+					anyPair = true
+					break
+				}
+			}
+		}
+		i, j := FirstOverlap(boxes)
+		if anyPair != (i >= 0) {
+			t.Fatalf("round %d: FirstOverlap=(%d,%d), pairwise says overlap=%v, boxes=%v",
+				round, i, j, anyPair, boxes)
+		}
+		if i >= 0 && !boxesOverlap(boxes[i], boxes[j]) {
+			t.Fatalf("round %d: FirstOverlap returned disjoint pair (%d,%d): %v", round, i, j, boxes)
+		}
+	}
+}
+
+// TestIndexAllocFree verifies the steady-state query path performs no
+// heap allocation once the arena has warmed up.
+func TestIndexAllocFree(t *testing.T) {
+	dec, err := BlockDecompose([]int64{4096, 4096}, FactorGrid(64, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	writers, err := BlockDecompose([]int64{4096, 4096}, FactorGrid(256, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := dec.Index()
+	var arena []OverlapTarget
+	for _, wb := range writers.Boxes { // warm the arena
+		arena = idx.AppendOverlaps(arena, wb)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		for _, wb := range writers.Boxes {
+			arena = idx.AppendOverlaps(arena, wb)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state mapping allocated %v times per run, want 0", allocs)
+	}
+}
+
+func ExampleIntervalIndex() {
+	dec, _ := BlockDecompose([]int64{8, 8}, []int{2, 2})
+	writer := Box{Lo: []int64{2, 2}, Hi: []int64{6, 6}}
+	for _, t := range dec.Index().AppendOverlaps(nil, writer) {
+		fmt.Printf("rank %d gets %v\n", t.Rank, t.Region)
+	}
+	// Output:
+	// rank 0 gets [2:4,2:4]
+	// rank 1 gets [2:4,4:6]
+	// rank 2 gets [4:6,2:4]
+	// rank 3 gets [4:6,4:6]
+}

@@ -2,6 +2,7 @@ package shm
 
 import (
 	"encoding/binary"
+	"errors"
 	"sync"
 	"sync/atomic"
 
@@ -13,17 +14,34 @@ const (
 	msgInline byte = 1 // payload lives in the queue slot itself
 	msgPooled byte = 2 // payload lives in a pool buffer; async, two copies
 	msgXpmem  byte = 3 // payload is the producer's own buffer; sync, one copy
+	msgHandle byte = 4 // header inline, payload passed by reference; async, zero payload copies
 )
 
 const ctlHeader = 1 + 8 // kind + buffer id or inline length
 
+// Errors returned by the handle-passing send path.
+var (
+	// ErrHandleTooLarge means the header exceeds the inline budget; the
+	// caller should fall back to a copying send.
+	ErrHandleTooLarge = errors.New("shm: handle header exceeds inline budget")
+	// ErrClosed means the channel was closed before the message could be
+	// enqueued.
+	ErrClosed = errors.New("shm: channel closed")
+)
+
 // ChannelStats counts transport activity for the performance monitor.
+// CopiedBytes counts every payload byte memcpy'd through channel-owned
+// memory (inline and pooled messages copy on both ends, xpmem once,
+// handle messages only their headers) — the quantity the zero-copy path
+// is meant to collapse.
 type ChannelStats struct {
 	MessagesSent  int64
 	BytesSent     int64
 	InlineSends   int64
 	PooledSends   int64
 	ZeroCopySends int64
+	HandleSends   int64
+	CopiedBytes   int64
 }
 
 // Channel is a one-directional intra-node transport between one producer
@@ -51,16 +69,24 @@ type Channel struct {
 }
 
 type outEntry struct {
-	buf  []byte
-	done chan struct{} // non-nil for zero-copy sends: closed when consumed
-	once sync.Once     // guards the close (Recv and Close may race)
+	buf       []byte
+	done      chan struct{} // non-nil for zero-copy sends: closed when consumed
+	onRelease func()        // non-nil for handle sends: returns the buffer to its owner
+	once      sync.Once     // guards the release (Recv, RecvMsg and Close may race)
 }
 
-// release unblocks a zero-copy sender exactly once.
+// release hands the buffer back to its producer exactly once: it runs the
+// handle-send release callback and unblocks a synchronous zero-copy
+// sender.
 func (e *outEntry) release() {
-	if e.done != nil {
-		e.once.Do(func() { close(e.done) })
-	}
+	e.once.Do(func() {
+		if e.onRelease != nil {
+			e.onRelease()
+		}
+		if e.done != nil {
+			close(e.done)
+		}
+	})
 }
 
 // NewChannel creates a channel with `entries` control-queue slots,
@@ -99,7 +125,7 @@ func (c *Channel) Send(msg []byte) bool {
 		copy(frame[ctlHeader:], msg)
 		ok := c.q.Enqueue(frame)
 		if ok {
-			c.bump(func(s *ChannelStats) { s.InlineSends++ })
+			c.bump(func(s *ChannelStats) { s.InlineSends++; s.CopiedBytes += int64(len(msg)) })
 			c.recordQueueEvent(flight.KindEnqueue, "shm.send.inline", len(msg))
 		}
 		return ok
@@ -118,9 +144,37 @@ func (c *Channel) Send(msg []byte) bool {
 		c.pool.Put(buf)
 		return false
 	}
-	c.bump(func(s *ChannelStats) { s.PooledSends++ })
+	c.bump(func(s *ChannelStats) { s.PooledSends++; s.CopiedBytes += int64(len(msg)) })
 	c.recordQueueEvent(flight.KindEnqueue, "shm.send.pooled", len(msg))
 	return true
+}
+
+// SendHandle delivers a small header inline and the payload by reference:
+// no payload byte is copied by the channel on either end. Ownership of
+// payload transfers to the channel until the consumer (or Close) invokes
+// the release path, at which point onRelease — typically "return the
+// buffer to the producer's pool" — runs exactly once. The consumer
+// receives the payload via RecvMsg and must call Release when done; a
+// consumer using plain Recv gets header⧺payload as one copied message and
+// the buffer is released immediately. On error the channel has taken no
+// ownership: onRelease does not run and the caller keeps the payload.
+func (c *Channel) SendHandle(hdr, payload []byte, onRelease func()) error {
+	if len(hdr) > c.inlineMax {
+		return ErrHandleTooLarge
+	}
+	c.countSend(len(hdr) + len(payload))
+	id := c.register(&outEntry{buf: payload, onRelease: onRelease})
+	frame := make([]byte, ctlHeader+len(hdr))
+	frame[0] = msgHandle
+	binary.LittleEndian.PutUint64(frame[1:], id)
+	copy(frame[ctlHeader:], hdr)
+	if !c.q.Enqueue(frame) {
+		c.unregister(id)
+		return ErrClosed
+	}
+	c.bump(func(s *ChannelStats) { s.HandleSends++; s.CopiedBytes += int64(len(hdr)) })
+	c.recordQueueEvent(flight.KindEnqueue, "shm.send.handle", len(hdr))
+	return nil
 }
 
 // SendZeroCopy delivers msg synchronously via the XPMEM-style path: the
@@ -145,13 +199,38 @@ func (c *Channel) SendZeroCopy(msg []byte) bool {
 	return true
 }
 
+// Received is one message delivered by RecvMsg. For handle messages,
+// Payload references the producer's buffer and Release must be called
+// (exactly once, from any goroutine) when the consumer is done with it;
+// for all other kinds Payload is nil and Release may be nil. Msg never
+// aliases producer memory.
+type Received struct {
+	Msg     []byte
+	Payload []byte
+	Release func()
+}
+
 // Recv returns the next message, reusing dst's storage when large enough.
-// ok=false means the channel is closed and drained.
+// ok=false means the channel is closed and drained. Handle messages are
+// flattened to header⧺payload (both copied) and released immediately, so
+// a copying consumer interoperates with a handle-passing producer.
 func (c *Channel) Recv(dst []byte) (msg []byte, ok bool) {
+	r, ok := c.recvMsg(dst, false)
+	return r.Msg, ok
+}
+
+// RecvMsg returns the next message without flattening handle payloads:
+// the zero-copy receive path. dst is reused for Msg storage when large
+// enough.
+func (c *Channel) RecvMsg(dst []byte) (Received, bool) {
+	return c.recvMsg(dst, true)
+}
+
+func (c *Channel) recvMsg(dst []byte, byRef bool) (Received, bool) {
 	frame := make([]byte, c.q.PayloadSize())
 	n, ok := c.q.Dequeue(frame)
 	if !ok {
-		return nil, false
+		return Received{}, false
 	}
 	kind := frame[0]
 	switch kind {
@@ -162,39 +241,64 @@ func (c *Channel) Recv(dst []byte) (msg []byte, ok bool) {
 		}
 		dst = grow(dst, ln)
 		copy(dst, frame[ctlHeader:ctlHeader+ln])
+		c.bump(func(s *ChannelStats) { s.CopiedBytes += int64(ln) })
 		c.recordQueueEvent(flight.KindDequeue, "shm.recv", ln)
-		return dst, true
+		return Received{Msg: dst}, true
 	case msgPooled:
 		id := binary.LittleEndian.Uint64(frame[1:])
 		e := c.take(id)
 		if e == nil {
-			return nil, false
+			return Received{}, false
 		}
 		dst = grow(dst, len(e.buf))
 		copy(dst, e.buf) // second copy
 		c.pool.Put(e.buf)
+		c.bump(func(s *ChannelStats) { s.CopiedBytes += int64(len(dst)) })
 		c.recordQueueEvent(flight.KindDequeue, "shm.recv", len(dst))
-		return dst, true
+		return Received{Msg: dst}, true
 	case msgXpmem:
 		id := binary.LittleEndian.Uint64(frame[1:])
 		e := c.take(id)
 		if e == nil {
-			return nil, false
+			return Received{}, false
 		}
 		dst = grow(dst, len(e.buf))
 		copy(dst, e.buf) // the only copy
 		e.release()
+		c.bump(func(s *ChannelStats) { s.CopiedBytes += int64(len(dst)) })
 		c.recordQueueEvent(flight.KindDequeue, "shm.recv", len(dst))
-		return dst, true
+		return Received{Msg: dst}, true
+	case msgHandle:
+		id := binary.LittleEndian.Uint64(frame[1:])
+		e := c.take(id)
+		if e == nil {
+			return Received{}, false
+		}
+		hdr := frame[ctlHeader:n]
+		c.bump(func(s *ChannelStats) { s.CopiedBytes += int64(len(hdr)) })
+		if byRef {
+			c.recordQueueEvent(flight.KindDequeue, "shm.recv.handle", len(e.buf))
+			return Received{Msg: hdr, Payload: e.buf, Release: e.release}, true
+		}
+		// Copying consumer: flatten to one contiguous message and release
+		// the producer's buffer right away.
+		dst = grow(dst, len(hdr)+len(e.buf))
+		copy(dst, hdr)
+		copy(dst[len(hdr):], e.buf)
+		e.release()
+		c.bump(func(s *ChannelStats) { s.CopiedBytes += int64(len(e.buf)) })
+		c.recordQueueEvent(flight.KindDequeue, "shm.recv", len(dst))
+		return Received{Msg: dst}, true
 	}
-	return nil, false
+	return Received{}, false
 }
 
 // Close shuts down the channel. Blocked senders and receivers return
 // false once the queue drains; messages already enqueued (inline or
 // pooled) remain receivable. Outstanding zero-copy senders are released
-// so they cannot deadlock; their entries stay takeable for a receiver
-// that drains the queue afterwards.
+// so they cannot deadlock, and outstanding handle payloads run their
+// onRelease so producer buffers are never stranded; entries stay takeable
+// for a receiver that drains the queue afterwards.
 func (c *Channel) Close() {
 	c.q.Close()
 	c.mu.Lock()

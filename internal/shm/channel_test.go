@@ -168,6 +168,121 @@ func TestChannelMixedTrafficOrdered(t *testing.T) {
 	}
 }
 
+func TestChannelHandleRoundTrip(t *testing.T) {
+	c, _ := NewChannel(8, 128, 0)
+	defer c.Close()
+	hdr := []byte("header")
+	payload := bytes.Repeat([]byte("p"), 8000)
+	released := make(chan struct{})
+	go func() {
+		if err := c.SendHandle(hdr, payload, func() { close(released) }); err != nil {
+			t.Errorf("SendHandle: %v", err)
+		}
+	}()
+	got, ok := c.RecvMsg(nil)
+	if !ok || !bytes.Equal(got.Msg, hdr) {
+		t.Fatalf("RecvMsg msg = %q, %v", got.Msg, ok)
+	}
+	if &got.Payload[0] != &payload[0] {
+		t.Fatal("handle payload should alias the producer's buffer")
+	}
+	select {
+	case <-released:
+		t.Fatal("released before consumer called Release")
+	default:
+	}
+	got.Release()
+	<-released
+	got.Release() // idempotent
+	st := c.Stats()
+	if st.HandleSends != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Only the header crossed by copy: once at send, once at receive.
+	if want := int64(2 * len(hdr)); st.CopiedBytes != want {
+		t.Fatalf("CopiedBytes = %d, want %d (payload must not be copied)", st.CopiedBytes, want)
+	}
+}
+
+func TestChannelHandleCopyingRecvCompat(t *testing.T) {
+	c, _ := NewChannel(8, 128, 0)
+	defer c.Close()
+	hdr := []byte("meta")
+	payload := bytes.Repeat([]byte("q"), 3000)
+	released := make(chan struct{})
+	go c.SendHandle(hdr, payload, func() { close(released) })
+	got, ok := c.Recv(nil)
+	if !ok || !bytes.Equal(got, append(append([]byte(nil), hdr...), payload...)) {
+		t.Fatalf("copying Recv of handle message = %d bytes, ok=%v", len(got), ok)
+	}
+	<-released // plain Recv releases immediately after flattening
+}
+
+func TestChannelHandleHeaderTooLarge(t *testing.T) {
+	c, _ := NewChannel(8, 64, 0)
+	defer c.Close()
+	err := c.SendHandle(make([]byte, 65), nil, func() { t.Fatal("onRelease must not run on error") })
+	if err != ErrHandleTooLarge {
+		t.Fatalf("err = %v, want ErrHandleTooLarge", err)
+	}
+}
+
+func TestChannelCloseReleasesHandles(t *testing.T) {
+	c, _ := NewChannel(8, 64, 0)
+	released := make(chan struct{})
+	if err := c.SendHandle([]byte("h"), make([]byte, 100), func() { close(released) }); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	<-released // Close must hand the buffer back to the producer
+}
+
+// TestChannelHandleHandoffRace exercises the hand-off/release ordering
+// under the race detector: the producer writes each payload before
+// SendHandle and reuses it only after onRelease fires; the consumer reads
+// the payload and then calls Release. Any missing happens-before edge
+// between the producer's write, the consumer's read, and the buffer reuse
+// is a data race.
+func TestChannelHandleHandoffRace(t *testing.T) {
+	c, _ := NewChannel(16, 64, 0)
+	defer c.Close()
+	const rounds = 500
+	buf := make([]byte, 4096) // single buffer, recycled through onRelease
+	free := make(chan []byte, 1)
+	free <- buf
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			b := <-free
+			for j := range b {
+				b[j] = byte(i)
+			}
+			if err := c.SendHandle([]byte{byte(i)}, b, func() { free <- b }); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < rounds; i++ {
+		got, ok := c.RecvMsg(nil)
+		if !ok {
+			t.Fatalf("recv %d failed", i)
+		}
+		if got.Msg[0] != byte(i) {
+			t.Fatalf("recv %d: header %d (ordering broken)", i, got.Msg[0])
+		}
+		for _, v := range got.Payload {
+			if v != byte(i) {
+				t.Fatalf("recv %d: payload corrupted (read %d)", i, v)
+			}
+		}
+		got.Release()
+	}
+	wg.Wait()
+}
+
 func TestChannelStatsBytes(t *testing.T) {
 	c, _ := NewChannel(8, 64, 0)
 	defer c.Close()

@@ -7,7 +7,8 @@ import (
 
 // SetJournal attaches a flight recorder to the channel: every successful
 // send is journaled as an enqueue event ("shm.send.inline" / ".pooled" /
-// ".zerocopy") and every delivery as a dequeue ("shm.recv"), stamped on
+// ".zerocopy" / ".handle") and every delivery as a dequeue ("shm.recv",
+// or "shm.recv.handle" for by-reference deliveries), stamped on
 // the journal's clock. These are transport-level events (Step -1): they
 // feed trace export and queue-behaviour inspection, while step
 // attribution happens at the core layer. A nil journal detaches.
@@ -45,6 +46,8 @@ func (c *Channel) ReportTo(m *monitor.Monitor, prefix string) {
 	m.Set(prefix+"inline", st.InlineSends)
 	m.Set(prefix+"pooled", st.PooledSends)
 	m.Set(prefix+"zerocopy", st.ZeroCopySends)
+	m.Set(prefix+"handle", st.HandleSends)
+	m.Set(prefix+"copied_bytes", st.CopiedBytes)
 
 	ps := c.pool.Stats()
 	m.Set(prefix+"pool.inuse", ps.BytesInUse)
