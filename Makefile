@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check ci fmt vet build test race bench reconfig trace critpath replay
+.PHONY: check ci fmt vet build test race bench reconfig trace critpath replay multiproc
 
 ## check: everything a PR must pass — formatting, vet, build, race tests.
 check: fmt vet build race
@@ -16,6 +16,8 @@ ci:
 	$(GO) test -run TestNopOverheadBudget -count=1 ./internal/monitor/
 	$(GO) test -run TestFlightNopOverheadBudget -count=1 ./internal/flight/
 	$(GO) test -run TestRedistMappingBudget -count=1 .
+	$(GO) test -run TestTCPStatsNopBudget -count=1 ./internal/evpath/
+	$(MAKE) multiproc
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -75,6 +77,18 @@ trace:
 ## preserving the committed nop budget.
 critpath:
 	$(GO) run ./cmd/flexbench -exp critpath
+
+## multiproc: the real-deployment drill — re-execs flexbench into one
+## directory server plus four flexnode daemons (writer leader + worker,
+## reader leader + worker) coupled purely over TCP/TLS sockets, injects
+## a mid-stream disconnect, reconfigures the readers mid-run, ships a DC
+## plug-in across processes, and requires the output to be byte-identical
+## to a single-process shared-memory run. The driver carries its own 90s
+## deadline; the outer timeout is a belt-and-braces guard for `make ci`
+## (falls back to running bare where coreutils' timeout is absent).
+multiproc:
+	timeout 150 $(GO) run ./cmd/flexbench -exp multiproc \
+		|| { [ $$? -eq 127 ] && $(GO) run ./cmd/flexbench -exp multiproc; }
 
 ## replay: determinism check — re-runs the journaled scenario from the
 ## same configuration and diffs the event streams; exits non-zero on any

@@ -26,7 +26,7 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("flexio directory server listening on %s\n", srv.Addr())
-	fmt.Println("protocol: REG <stream> <contact> | GET <stream> | WAIT <stream> <millis> | DEL <stream>")
+	fmt.Println("protocol: REG <stream> <contact> [ttl_ms] | RENEW <stream> <ttl_ms> | GET <stream> | WAIT <stream> <millis> | DEL <stream>")
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

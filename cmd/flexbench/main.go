@@ -17,6 +17,10 @@ import (
 )
 
 func main() {
+	// The multiproc experiment re-execs this binary as its directory
+	// server and flexnode daemon children; dispatch before flag parsing.
+	experiment.MaybeChildMain()
+
 	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	metrics := flag.String("metrics", "", "serve live monitoring over HTTP at host:port during the trace experiment (e.g. 127.0.0.1:8123)")

@@ -1,0 +1,126 @@
+// Command flexnode runs one FlexIO deployment daemon: it registers with
+// a directory server under a liveness lease, serves a TCP (optionally
+// TLS) evpath listener, exposes live metrics, and either idles as a
+// placement target (-role serve) or takes one of the four coupled-run
+// roles of the deterministic verification scenario. A full deployment is
+// a dirserver plus one flexnode per process:
+//
+//	dirserver -addr 127.0.0.1:7878 &
+//	flexnode -dir 127.0.0.1:7878 -name wl -role writer-leader -ranks 0 -drop-after 9 &
+//	flexnode -dir 127.0.0.1:7878 -name ww -role writer-worker -ranks 1 &
+//	flexnode -dir 127.0.0.1:7878 -name rl -role reader-leader -ranks 0 &
+//	flexnode -dir 127.0.0.1:7878 -name rw -role reader-worker -ranks 1
+//
+// See examples/multiproc for the walkthrough and `flexbench -exp
+// multiproc` for the automated version of the same drill.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"flexio/internal/directory"
+	"flexio/internal/evpath"
+	"flexio/internal/flexnode"
+)
+
+func main() {
+	name := flag.String("name", "", "node name for the directory liveness lease (required)")
+	dirAddr := flag.String("dir", "127.0.0.1:7878", "directory server address")
+	bind := flag.String("bind", "127.0.0.1:0", "evpath wire listener bind address")
+	useTLS := flag.Bool("tls", true, "serve TLS with an ephemeral directory-pinned identity")
+	lease := flag.Duration("lease", 2*time.Second, "directory lease TTL (0 disables leasing)")
+	metrics := flag.String("metrics", "", "serve /metrics and /health at host:port (e.g. 127.0.0.1:8123)")
+	role := flag.String("role", "serve", "serve | writer-leader | writer-worker | reader-leader | reader-worker")
+	stream := flag.String("stream", "multiproc", "scenario stream name")
+	ranks := flag.String("ranks", "", "comma-separated scenario ranks this node runs (e.g. 0 or 0,1)")
+	m := flag.Int("m", 2, "scenario writer rank count")
+	n := flag.Int("n", 2, "scenario reader rank count")
+	steps := flag.Int("steps", 6, "scenario timestep count")
+	reconfigAfter := flag.Int("reconfig-after", 2, "reconfigure readers after this step (-1 disables)")
+	dropAfter := flag.Int("drop-after", 0, "writer leader: inject a disconnect after this many wire sends (0 disables)")
+	plugin := flag.String("plugin", "", "reader leader: DC plug-in source to ship to the writer side")
+	flag.Parse()
+
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "flexnode: -name is required")
+		os.Exit(2)
+	}
+	cfg := flexnode.RoleConfig{
+		Node: flexnode.Config{
+			Name:        *name,
+			Dir:         &directory.Client{Addr: *dirAddr},
+			Bind:        *bind,
+			TLS:         *useTLS,
+			LeaseTTL:    *lease,
+			MetricsAddr: *metrics,
+		},
+		Scenario: flexnode.Scenario{
+			Stream:        *stream,
+			M:             *m,
+			N:             *n,
+			Steps:         *steps,
+			ReconfigAfter: *reconfigAfter,
+		},
+		Faults: evpath.TCPFaults{DropAfterSends: *dropAfter},
+		Plugin: *plugin,
+	}
+	for _, f := range strings.Split(*ranks, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		r, err := strconv.Atoi(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flexnode: bad -ranks entry %q: %v\n", f, err)
+			os.Exit(2)
+		}
+		cfg.Ranks = append(cfg.Ranks, r)
+	}
+
+	var err error
+	switch *role {
+	case "serve":
+		err = serve(cfg.Node)
+	case "writer-leader":
+		err = flexnode.RunWriterLeader(cfg)
+	case "writer-worker":
+		err = flexnode.RunWriterWorker(cfg)
+	case "reader-leader":
+		err = flexnode.RunReaderLeader(cfg)
+	case "reader-worker":
+		err = flexnode.RunReaderWorker(cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "flexnode: unknown role %q\n", *role)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flexnode:", err)
+		os.Exit(1)
+	}
+}
+
+// serve runs the bare daemon — registered, leased, serving its wire
+// listener and metrics — until SIGINT/SIGTERM, then drains cleanly.
+func serve(cfg flexnode.Config) error {
+	d, err := flexnode.Start(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("flexnode %s serving at %s", cfg.Name, d.Advertise())
+	if addr := d.MetricsAddr(); addr != "" {
+		fmt.Printf(" (metrics http://%s/metrics)", addr)
+	}
+	fmt.Println()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("draining")
+	return d.Close()
+}

@@ -761,11 +761,17 @@ func (g *WriterGroup) sendPiece(w, r int, ev *evpath.Event, step int64, tr stepT
 	}
 	var sendEv flight.EventID
 	if g.journal != nil { // same guard for the channel-name formatting
+		wire := int64(len(buf))
+		if wc, ok := conn.(evpath.WireConn); ok {
+			// Real wire transports frame every message; attribute the
+			// bytes actually on the wire, not just the payload.
+			wire += int64(wc.WireOverhead())
+		}
 		sendEv = g.journal.Begin(flight.Event{
 			Kind: flight.KindSend, Point: "send." + conn.Transport(),
 			Channel: fmt.Sprintf("w%d>r%d", w, r),
 			Rank:    w, Step: step, Epoch: tr.epoch, Parent: tr.jparent,
-			Bytes: int64(len(buf)),
+			Bytes: wire,
 		})
 	}
 	if hc != nil {

@@ -31,6 +31,21 @@ var (
 	ErrTimeout   = errors.New("directory: lookup timed out")
 )
 
+// Leaser is the optional lease extension of a Directory: a registration
+// carries a time-to-live and vanishes unless its owner heartbeats a
+// renewal — how the directory sheds contacts of crashed processes
+// without ever being on the data path. Mem and Client implement it.
+type Leaser interface {
+	// RegisterTTL is Register with a lease: the binding expires ttl from
+	// now unless renewed. ttl <= 0 registers without a lease (never
+	// expires), matching Register.
+	RegisterTTL(stream, contact string, ttl time.Duration) error
+	// Renew extends stream's lease to ttl from now (ErrNotFound if the
+	// binding is absent or already expired). Renewing with ttl <= 0
+	// removes the lease, making the binding permanent.
+	Renew(stream string, ttl time.Duration) error
+}
+
 // Directory is the discovery API.
 type Directory interface {
 	// Register binds a stream name to contact information. Registering a
@@ -58,12 +73,23 @@ type Directory interface {
 type Mem struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
-	entries map[string]string
+	entries map[string]memEntry
+	janitor *time.Timer // fires at the earliest lease expiry
+}
+
+// memEntry is one binding; a zero expires means no lease.
+type memEntry struct {
+	contact string
+	expires time.Time
+}
+
+func (e memEntry) expired(now time.Time) bool {
+	return !e.expires.IsZero() && !now.Before(e.expires)
 }
 
 // NewMem creates an empty in-process directory.
 func NewMem() *Mem {
-	d := &Mem{entries: make(map[string]string)}
+	d := &Mem{entries: make(map[string]memEntry)}
 	d.cond = sync.NewCond(&d.mu)
 	return d
 }
@@ -71,22 +97,91 @@ func NewMem() *Mem {
 // Register binds stream to contact and wakes pending WaitLookups. A
 // stream that is already bound has its contact atomically replaced.
 func (d *Mem) Register(stream, contact string) error {
+	return d.RegisterTTL(stream, contact, 0)
+}
+
+// RegisterTTL implements Leaser: the binding expires ttl from now unless
+// renewed (ttl <= 0 never expires).
+func (d *Mem) RegisterTTL(stream, contact string, ttl time.Duration) error {
+	e := memEntry{contact: contact}
+	if ttl > 0 {
+		e.expires = time.Now().Add(ttl)
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.entries[stream] = contact
+	d.entries[stream] = e
+	d.scheduleJanitorLocked()
 	d.cond.Broadcast()
 	return nil
+}
+
+// Renew implements Leaser: extends the lease to ttl from now.
+func (d *Mem) Renew(stream string, ttl time.Duration) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, ok := d.entries[stream]
+	if !ok || e.expired(time.Now()) {
+		delete(d.entries, stream)
+		return fmt.Errorf("%w: %q (lease expired or never registered)", ErrNotFound, stream)
+	}
+	if ttl > 0 {
+		e.expires = time.Now().Add(ttl)
+	} else {
+		e.expires = time.Time{}
+	}
+	d.entries[stream] = e
+	d.scheduleJanitorLocked()
+	return nil
+}
+
+// scheduleJanitorLocked (re)arms the purge timer for the earliest lease
+// expiry. The janitor broadcast makes expiry observable to WaitLookup
+// waiters without polling: they wake, fail to find the purged entry, and
+// keep waiting or time out. Caller holds d.mu.
+func (d *Mem) scheduleJanitorLocked() {
+	var next time.Time
+	for _, e := range d.entries {
+		if e.expires.IsZero() {
+			continue
+		}
+		if next.IsZero() || e.expires.Before(next) {
+			next = e.expires
+		}
+	}
+	if d.janitor != nil {
+		d.janitor.Stop()
+		d.janitor = nil
+	}
+	if next.IsZero() {
+		return
+	}
+	d.janitor = time.AfterFunc(time.Until(next)+time.Millisecond, func() {
+		d.mu.Lock()
+		d.purgeLocked(time.Now())
+		d.scheduleJanitorLocked()
+		d.cond.Broadcast()
+		d.mu.Unlock()
+	})
+}
+
+// purgeLocked drops expired bindings. Caller holds d.mu.
+func (d *Mem) purgeLocked(now time.Time) {
+	for s, e := range d.entries {
+		if e.expired(now) {
+			delete(d.entries, s)
+		}
+	}
 }
 
 // Lookup resolves stream or returns ErrNotFound.
 func (d *Mem) Lookup(stream string) (string, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	c, ok := d.entries[stream]
-	if !ok {
+	e, ok := d.entries[stream]
+	if !ok || e.expired(time.Now()) {
 		return "", fmt.Errorf("%w: %q", ErrNotFound, stream)
 	}
-	return c, nil
+	return e.contact, nil
 }
 
 // WaitLookup resolves stream, blocking up to timeout for registration.
@@ -105,8 +200,8 @@ func (d *Mem) WaitLookup(stream string, timeout time.Duration) (string, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	for {
-		if c, ok := d.entries[stream]; ok {
-			return c, nil
+		if e, ok := d.entries[stream]; ok && !e.expired(time.Now()) {
+			return e.contact, nil
 		}
 		if expired || !time.Now().Before(deadline) {
 			return "", fmt.Errorf("%w: %q after %v", ErrTimeout, stream, timeout)
@@ -123,9 +218,10 @@ func (d *Mem) Unregister(stream string) error {
 	return nil
 }
 
-// Len reports the number of registered streams.
+// Len reports the number of live (unexpired) streams.
 func (d *Mem) Len() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.purgeLocked(time.Now())
 	return len(d.entries)
 }

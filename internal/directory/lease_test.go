@@ -1,0 +1,123 @@
+package directory
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestMemLeaseExpiry: a leased binding resolves until its TTL lapses,
+// then is purged; Len reflects the purge.
+func TestMemLeaseExpiry(t *testing.T) {
+	d := NewMem()
+	if err := d.RegisterTTL("s", "contact-1", 40*time.Millisecond); err != nil {
+		t.Fatalf("RegisterTTL: %v", err)
+	}
+	if c, err := d.Lookup("s"); err != nil || c != "contact-1" {
+		t.Fatalf("Lookup before expiry = %q, %v", c, err)
+	}
+	time.Sleep(80 * time.Millisecond)
+	if _, err := d.Lookup("s"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Lookup after expiry = %v, want ErrNotFound", err)
+	}
+	if n := d.Len(); n != 0 {
+		t.Fatalf("Len after expiry = %d, want 0", n)
+	}
+}
+
+// TestMemLeaseRenewal: heartbeat renewals keep a binding alive well past
+// its original TTL; stopping them lets it decay. Renewing a dead lease
+// fails.
+func TestMemLeaseRenewal(t *testing.T) {
+	d := NewMem()
+	const ttl = 50 * time.Millisecond
+	if err := d.RegisterTTL("s", "contact-1", ttl); err != nil {
+		t.Fatalf("RegisterTTL: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		time.Sleep(ttl / 2)
+		if err := d.Renew("s", ttl); err != nil {
+			t.Fatalf("Renew %d: %v", i, err)
+		}
+	}
+	// Alive at 2.5x the original TTL thanks to the heartbeats.
+	if _, err := d.Lookup("s"); err != nil {
+		t.Fatalf("Lookup during heartbeats: %v", err)
+	}
+	time.Sleep(2 * ttl)
+	if err := d.Renew("s", ttl); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Renew after decay = %v, want ErrNotFound", err)
+	}
+}
+
+// TestMemWaitLookupObservesPurge: a WaitLookup issued while an expired
+// entry still sits in the map must not resolve to the dead contact —
+// the purge happens-before any successful wait.
+func TestMemWaitLookupObservesPurge(t *testing.T) {
+	d := NewMem()
+	if err := d.RegisterTTL("s", "dead", 30*time.Millisecond); err != nil {
+		t.Fatalf("RegisterTTL: %v", err)
+	}
+	time.Sleep(60 * time.Millisecond)
+	// The entry has expired; WaitLookup must treat it as absent and time
+	// out rather than returning "dead".
+	if c, err := d.WaitLookup("s", 50*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("WaitLookup on expired entry = %q, %v; want timeout", c, err)
+	}
+	// A fresh registration wakes the waiter as usual.
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		d.RegisterTTL("s", "alive", 500*time.Millisecond) //nolint:errcheck
+	}()
+	if c, err := d.WaitLookup("s", time.Second); err != nil || c != "alive" {
+		t.Fatalf("WaitLookup after re-register = %q, %v", c, err)
+	}
+}
+
+// TestLeaseOverTCP drives the lease protocol end to end through a real
+// Server/Client pair: REG with TTL, heartbeat RENEWs, decay after the
+// heartbeats stop, and WaitLookup observing the purge.
+func TestLeaseOverTCP(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", NewMem())
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer srv.Close()
+	cl := &Client{Addr: srv.Addr()}
+
+	const ttl = 80 * time.Millisecond
+	if err := cl.RegisterTTL("stream", "tcp://1.2.3.4:5", ttl); err != nil {
+		t.Fatalf("RegisterTTL: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		time.Sleep(ttl / 2)
+		if err := cl.Renew("stream", ttl); err != nil {
+			t.Fatalf("Renew %d: %v", i, err)
+		}
+	}
+	if c, err := cl.Lookup("stream"); err != nil || c != "tcp://1.2.3.4:5" {
+		t.Fatalf("Lookup during heartbeats = %q, %v", c, err)
+	}
+
+	// Stop heartbeating; the server purges the lease and WaitLookup
+	// observes the absence.
+	time.Sleep(2 * ttl)
+	if _, err := cl.Lookup("stream"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Lookup after decay = %v, want ErrNotFound", err)
+	}
+	if _, err := cl.WaitLookup("stream", 40*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("WaitLookup after decay = %v, want ErrTimeout", err)
+	}
+	if err := cl.Renew("stream", ttl); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Renew after decay = %v, want ErrNotFound", err)
+	}
+
+	// Lease-free REG through the same protocol stays permanent.
+	if err := cl.Register("perm", "tcp://5.6.7.8:9"); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	time.Sleep(2 * ttl)
+	if c, err := cl.Lookup("perm"); err != nil || c != "tcp://5.6.7.8:9" {
+		t.Fatalf("permanent Lookup = %q, %v", c, err)
+	}
+}

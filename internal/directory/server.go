@@ -11,15 +11,19 @@ import (
 
 // Wire protocol: one request per line, space-separated.
 //
-//	REG <stream> <contact>   -> OK | ERR <reason>
-//	GET <stream>             -> OK <contact> | ERR <reason>
-//	WAIT <stream> <millis>   -> OK <contact> | ERR <reason>
-//	DEL <stream>             -> OK
+//	REG <stream> <contact> [ttl_ms]  -> OK | ERR <reason>
+//	RENEW <stream> <ttl_ms>          -> OK | ERR <reason>
+//	GET <stream>                     -> OK <contact> | ERR <reason>
+//	WAIT <stream> <millis>           -> OK <contact> | ERR <reason>
+//	DEL <stream>                     -> OK
 //
 // REG on an already-bound stream atomically replaces the contact (OK),
 // matching Mem semantics — re-registration is how a reconfiguring session
-// publishes its new contact. Stream names and contacts must not contain
-// whitespace.
+// publishes its new contact. A REG with ttl_ms takes a lease: the binding
+// is purged ttl_ms after the last REG/RENEW, so contacts of crashed
+// processes decay instead of lingering (requires a Leaser-backed
+// directory; plain Directories reject leased requests). Stream names and
+// contacts must not contain whitespace.
 
 // Server serves a Directory over TCP.
 type Server struct {
@@ -110,10 +114,41 @@ func (s *Server) dispatch(line string) string {
 	}
 	switch fields[0] {
 	case "REG":
-		if len(fields) != 3 {
-			return "ERR REG wants <stream> <contact>"
+		switch len(fields) {
+		case 3:
+			if err := s.dir.Register(fields[1], fields[2]); err != nil {
+				return "ERR " + err.Error()
+			}
+			return "OK"
+		case 4:
+			ttl, ok := parseMillis(fields[3])
+			if !ok {
+				return "ERR bad ttl_ms"
+			}
+			lsr, ok := s.dir.(Leaser)
+			if !ok {
+				return "ERR directory does not support leases"
+			}
+			if err := lsr.RegisterTTL(fields[1], fields[2], ttl); err != nil {
+				return "ERR " + err.Error()
+			}
+			return "OK"
+		default:
+			return "ERR REG wants <stream> <contact> [ttl_ms]"
 		}
-		if err := s.dir.Register(fields[1], fields[2]); err != nil {
+	case "RENEW":
+		if len(fields) != 3 {
+			return "ERR RENEW wants <stream> <ttl_ms>"
+		}
+		ttl, ok := parseMillis(fields[2])
+		if !ok {
+			return "ERR bad ttl_ms"
+		}
+		lsr, ok := s.dir.(Leaser)
+		if !ok {
+			return "ERR directory does not support leases"
+		}
+		if err := lsr.Renew(fields[1], ttl); err != nil {
 			return "ERR " + err.Error()
 		}
 		return "OK"
@@ -149,6 +184,15 @@ func (s *Server) dispatch(line string) string {
 		return "OK"
 	}
 	return "ERR unknown verb " + fields[0]
+}
+
+// parseMillis parses a non-negative millisecond count into a Duration.
+func parseMillis(s string) (time.Duration, bool) {
+	var ms int
+	if _, err := fmt.Sscanf(s, "%d", &ms); err != nil || ms < 0 {
+		return 0, false
+	}
+	return time.Duration(ms) * time.Millisecond, true
 }
 
 // Client is a Directory backed by a remote Server. Each call opens a
@@ -220,5 +264,22 @@ func (c *Client) Unregister(stream string) error {
 	return err
 }
 
+// RegisterTTL implements Leaser over the wire.
+func (c *Client) RegisterTTL(stream, contact string, ttl time.Duration) error {
+	if ttl <= 0 {
+		return c.Register(stream, contact)
+	}
+	_, err := c.roundTrip(fmt.Sprintf("REG %s %s %d", stream, contact, ttl.Milliseconds()))
+	return err
+}
+
+// Renew implements Leaser over the wire.
+func (c *Client) Renew(stream string, ttl time.Duration) error {
+	_, err := c.roundTrip(fmt.Sprintf("RENEW %s %d", stream, ttl.Milliseconds()))
+	return err
+}
+
 var _ Directory = (*Mem)(nil)
 var _ Directory = (*Client)(nil)
+var _ Leaser = (*Mem)(nil)
+var _ Leaser = (*Client)(nil)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // ErrTransient marks a recoverable transport failure: the operation may
@@ -56,4 +57,30 @@ func FaultCount(c Conn) int {
 		return f.faults
 	}
 	return 0
+}
+
+// TCPFaults injects failures into the wire transport's dial and send
+// paths — the cross-process analogue of InjectFaults. All fields are
+// one-shot budgets armed by Net.InjectTCPFaults; injecting again
+// replaces any unconsumed budget.
+type TCPFaults struct {
+	// FailDials fails the next N physical connect attempts with
+	// ErrTransient before any socket is opened (exercises redial
+	// backoff: each failed attempt costs one backoff step).
+	FailDials int
+	// DropAfterSends hard-disconnects the link under the N-th data send
+	// counted from now. The disconnect happens *before* the frame is
+	// written and half-closes the socket, so the peer drains everything
+	// already delivered; the sender redials, resumes the channel, and
+	// retries the same message — a provably lossless mid-stream cut.
+	DropAfterSends int
+	// SendLatency delays every data send (both coupling directions of
+	// the injection harness: slow links and cut links).
+	SendLatency time.Duration
+}
+
+// InjectTCPFaults arms wire-transport fault injection on this Net. The
+// zero TCPFaults disarms everything.
+func (n *Net) InjectTCPFaults(f TCPFaults) {
+	n.tcpInit().setFaults(f)
 }

@@ -21,7 +21,11 @@ import (
 func (n *Net) SetJournal(j *flight.Journal) {
 	n.mu.Lock()
 	n.journal = j
+	st := n.tcp
 	n.mu.Unlock()
+	if st != nil {
+		st.journal.Store(j)
+	}
 	if n.fabric != nil {
 		n.fabric.SetJournal(j)
 	}

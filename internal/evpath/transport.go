@@ -38,6 +38,7 @@ const (
 	ChanTransport TransportKind = iota // in-process Go channels (loopback)
 	ShmTransport                       // FastForward queues + buffer pool
 	RDMATransport                      // NNTI-style verbs + registration cache
+	TCPTransport                       // length-prefixed frames over TCP/TLS sockets
 )
 
 func (k TransportKind) String() string {
@@ -48,6 +49,8 @@ func (k TransportKind) String() string {
 		return "shm"
 	case RDMATransport:
 		return "rdma"
+	case TCPTransport:
+		return "tcp"
 	}
 	return fmt.Sprintf("TransportKind(%d)", int(k))
 }
@@ -82,11 +85,13 @@ type HandleConn interface {
 type Net struct {
 	fabric *rdma.Fabric
 
-	mu        sync.Mutex
-	listeners map[string]*Listener
-	nextConn  int64
-	journal   *flight.Journal
-	shmChans  []*shm.Channel
+	mu         sync.Mutex
+	listeners  map[string]*Listener
+	listenCond *sync.Cond // broadcast on Listen; lazily created by waiters
+	nextConn   int64
+	journal    *flight.Journal
+	shmChans   []*shm.Channel
+	tcp        *tcpState // wire transport; nil until first TCP use
 }
 
 // NewNet creates a connection manager. fabric may be nil if RDMA
@@ -104,15 +109,59 @@ type Listener struct {
 }
 
 // Listen registers a contact name. Names must be unique while listening.
+// When the Net serves TCP and a publisher is installed, the contact is
+// also published at the serving address so remote peers can dial it.
 func (n *Net) Listen(name string) (*Listener, error) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	if _, dup := n.listeners[name]; dup {
+		n.mu.Unlock()
 		return nil, fmt.Errorf("evpath: listener %q exists", name)
 	}
 	l := &Listener{name: name, net: n, accept: make(chan Conn, 16)}
 	n.listeners[name] = l
+	if n.listenCond != nil {
+		n.listenCond.Broadcast()
+	}
+	st := n.tcp
+	n.mu.Unlock()
+	if st != nil {
+		if err := st.publishContact(name); err != nil {
+			n.mu.Lock()
+			delete(n.listeners, name)
+			n.mu.Unlock()
+			return nil, fmt.Errorf("evpath: publish contact %q: %w", name, err)
+		}
+	}
 	return l, nil
+}
+
+// waitListener blocks up to d for a listener on name to appear — the
+// wire transport's grace window for dials that race a peer's Listen
+// (e.g. new-epoch data contacts during a reconfiguration).
+func (n *Net) waitListener(name string, d time.Duration) *Listener {
+	deadline := time.Now().Add(d)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for {
+		if l, ok := n.listeners[name]; ok && !l.closed.Load() {
+			return l
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil
+		}
+		if n.listenCond == nil {
+			n.listenCond = sync.NewCond(&n.mu)
+		}
+		cond := n.listenCond
+		t := time.AfterFunc(remain, func() {
+			n.mu.Lock()
+			cond.Broadcast()
+			n.mu.Unlock()
+		})
+		cond.Wait()
+		t.Stop()
+	}
 }
 
 // Accept blocks for the next inbound connection; ok=false after Close.
@@ -121,14 +170,19 @@ func (l *Listener) Accept() (Conn, bool) {
 	return c, ok
 }
 
-// Close stops accepting and removes the registration.
+// Close stops accepting, removes the registration, and retracts any
+// published contact.
 func (l *Listener) Close() {
 	if l.closed.Swap(true) {
 		return
 	}
 	l.net.mu.Lock()
 	delete(l.net.listeners, l.name)
+	st := l.net.tcp
 	l.net.mu.Unlock()
+	if st != nil {
+		st.retractContact(l.name)
+	}
 	close(l.accept)
 }
 
@@ -136,11 +190,24 @@ func (l *Listener) Close() {
 // dialer-side Conn is returned; the listener receives the peer Conn via
 // Accept. nodeA/nodeB identify the caller's and listener's nodes for the
 // RDMA cost model (ignored by other transports).
+//
+// The requested kind is a local-placement hint: TCPTransport always goes
+// over the wire, and any kind falls through to the wire when no local
+// listener serves the name but a TCP resolver is installed — so code
+// that dials by contact (coordinator handshakes, epoch data contacts)
+// reaches remote processes without knowing where ranks live.
 func (n *Net) Dial(name string, kind TransportKind, nodeA, nodeB int) (Conn, error) {
+	if kind == TCPTransport {
+		return n.dialTCP(name)
+	}
 	n.mu.Lock()
 	l, ok := n.listeners[name]
 	if !ok || l.closed.Load() {
+		remote := n.tcp != nil
 		n.mu.Unlock()
+		if remote {
+			return n.dialTCP(name)
+		}
 		return nil, fmt.Errorf("%w: %q", ErrPeerUnknown, name)
 	}
 	id := n.nextConn

@@ -81,19 +81,20 @@ func (f *Figure) Fprint(w io.Writer) error {
 
 // Registry maps experiment ids to drivers.
 var Registry = map[string]func() (*Figure, error){
-	"fig4":     func() (*Figure, error) { return Fig4() },
-	"fig6a":    func() (*Figure, error) { return Fig6("Smoky") },
-	"fig6b":    func() (*Figure, error) { return Fig6("Titan") },
-	"fig7":     Fig7,
-	"fig8":     Fig8,
-	"fig9a":    func() (*Figure, error) { return Fig9("Smoky") },
-	"fig9b":    func() (*Figure, error) { return Fig9("Titan") },
-	"s3dtune":  S3DTuning,
-	"claims":   Claims,
-	"reconfig": func() (*Figure, error) { return ReconfigBench("BENCH_reconfig.json") },
-	"trace":    func() (*Figure, error) { return TraceRun("trace.json", "metrics.json", metricsAddr) },
-	"critpath": func() (*Figure, error) { return CritpathRun("journal.json", "critpath.json", "BENCH_flight.json") },
-	"replay":   func() (*Figure, error) { return ReplayRun(replayPerturb) },
+	"fig4":      func() (*Figure, error) { return Fig4() },
+	"fig6a":     func() (*Figure, error) { return Fig6("Smoky") },
+	"fig6b":     func() (*Figure, error) { return Fig6("Titan") },
+	"fig7":      Fig7,
+	"fig8":      Fig8,
+	"fig9a":     func() (*Figure, error) { return Fig9("Smoky") },
+	"fig9b":     func() (*Figure, error) { return Fig9("Titan") },
+	"s3dtune":   S3DTuning,
+	"claims":    Claims,
+	"reconfig":  func() (*Figure, error) { return ReconfigBench("BENCH_reconfig.json") },
+	"trace":     func() (*Figure, error) { return TraceRun("trace.json", "metrics.json", metricsAddr) },
+	"critpath":  func() (*Figure, error) { return CritpathRun("journal.json", "critpath.json", "BENCH_flight.json") },
+	"replay":    func() (*Figure, error) { return ReplayRun(replayPerturb) },
+	"multiproc": Multiproc,
 }
 
 // IDs returns the registered experiment ids, sorted.

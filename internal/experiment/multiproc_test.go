@@ -1,0 +1,39 @@
+package experiment
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestMain lets the multiproc experiment re-exec this test binary as its
+// child processes: when FLEXIO_MP_ROLE is set, the process becomes a
+// dirserver or flexnode daemon instead of running the test suite.
+func TestMain(m *testing.M) {
+	MaybeChildMain()
+	os.Exit(m.Run())
+}
+
+// TestMultiproc runs the full deployment drill: 1 dirserver + 4 flexnode
+// daemons as real OS processes coupled over TCP/TLS, with an injected
+// disconnect and a mid-run reconfigure, verified byte-identical against
+// the in-process shared-memory reference.
+func TestMultiproc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes; skipped in -short")
+	}
+	fig, err := Multiproc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(fig.Notes, "\n")
+	for _, want := range []string{
+		"byte-identical",
+		"drops=1",
+		"final epoch 2",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("notes missing %q:\n%s", want, joined)
+		}
+	}
+}

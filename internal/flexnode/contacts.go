@@ -1,0 +1,234 @@
+// Package flexnode implements FlexIO's deployment daemon: a process that
+// joins a multi-process coupled run, registers itself with the external
+// directory under a lease, serves the TCP/TLS wire transport, and hosts
+// writer or reader ranks on behalf of the stream's group leader. It is
+// the piece that turns the in-process reproduction into a real
+// location-flexible deployment — the same core.WriterGroup/ReaderGroup
+// code runs unchanged, with placement decided by which flexnode hosts
+// which rank.
+//
+// Naming inside the shared directory uses prefixed namespaces so one
+// directory server can serve discovery, transport resolution, identity
+// pinning and result collection at once:
+//
+//	<stream>         stream bootstrap (core's coordinator contact)
+//	ev!<contact>     evpath contact -> wire address ("tcp://h:p" | "tls://h:p")
+//	cert!<addr>      wire address -> base64(DER) of its pinned TLS certificate
+//	node!<name>      flexnode liveness lease -> its wire address
+//	hash!<s>.r<N>    reader rank N's output digest for stream <s>
+package flexnode
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/base64"
+	"fmt"
+	"math/big"
+	"sync"
+	"time"
+
+	"flexio/internal/directory"
+	"flexio/internal/evpath"
+)
+
+// Directory namespace prefixes (see the package comment).
+const (
+	nsContact = "ev!"
+	nsCert    = "cert!"
+	nsNode    = "node!"
+	nsHash    = "hash!"
+)
+
+// HashKey names the directory entry holding reader rank r's output
+// digest for stream.
+func HashKey(stream string, r int) string {
+	return fmt.Sprintf("%s%s.r%d", nsHash, stream, r)
+}
+
+// NodeKey names the directory entry holding a flexnode's liveness lease.
+func NodeKey(name string) string { return nsNode + name }
+
+// Contacts adapts a directory.Directory into the wire transport's
+// contact publisher and resolver: every local evpath listener is
+// published as "ev!<contact>" -> this process's advertised address, and
+// dials of non-local contacts resolve through the same namespace. When
+// the directory supports leases and TTL is set, published contacts decay
+// unless RenewAll heartbeats run — so a crashed flexnode's contacts
+// vanish instead of black-holing dialers.
+type Contacts struct {
+	Dir directory.Directory
+	// TTL is the lease on published contacts (0 = permanent).
+	TTL time.Duration
+	// Wait bounds how long Resolve blocks for a not-yet-published
+	// contact (default 10s) — the cross-process analogue of dialing a
+	// listener that is still being set up.
+	Wait time.Duration
+
+	mu        sync.Mutex
+	published map[string]string // contact -> wire address
+}
+
+// PublishContact implements evpath.ContactPublisher.
+func (c *Contacts) PublishContact(contact, addr string) error {
+	if err := registerMaybeTTL(c.Dir, nsContact+contact, addr, c.TTL); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if c.published == nil {
+		c.published = make(map[string]string)
+	}
+	c.published[contact] = addr
+	c.mu.Unlock()
+	return nil
+}
+
+// RetractContact implements evpath.ContactPublisher.
+func (c *Contacts) RetractContact(contact string) error {
+	c.mu.Lock()
+	delete(c.published, contact)
+	c.mu.Unlock()
+	return c.Dir.Unregister(nsContact + contact)
+}
+
+// Resolve maps a contact to its wire address, waiting briefly for
+// publication. It is installed as the Net's resolver.
+func (c *Contacts) Resolve(contact string) (string, error) {
+	wait := c.Wait
+	if wait <= 0 {
+		wait = 10 * time.Second
+	}
+	return c.Dir.WaitLookup(nsContact+contact, wait)
+}
+
+// RenewAll heartbeats the leases of every published contact. Errors are
+// collected but renewal continues — one dead binding must not stop the
+// others' heartbeats.
+func (c *Contacts) RenewAll() error {
+	if c.TTL <= 0 {
+		return nil
+	}
+	lsr, ok := c.Dir.(directory.Leaser)
+	if !ok {
+		return nil
+	}
+	c.mu.Lock()
+	names := make([]string, 0, len(c.published))
+	for name := range c.published {
+		names = append(names, name)
+	}
+	c.mu.Unlock()
+	var firstErr error
+	for _, name := range names {
+		if err := lsr.Renew(nsContact+name, c.TTL); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// registerMaybeTTL registers with a lease when the directory supports
+// them and ttl > 0, falling back to a permanent binding.
+func registerMaybeTTL(dir directory.Directory, name, contact string, ttl time.Duration) error {
+	if ttl > 0 {
+		if lsr, ok := dir.(directory.Leaser); ok {
+			return lsr.RegisterTTL(name, contact, ttl)
+		}
+	}
+	return dir.Register(name, contact)
+}
+
+// Identity is a flexnode's ephemeral TLS identity: a fresh ed25519
+// self-signed certificate minted at startup. Peers authenticate it by
+// pinning — the exact DER bytes are published in the directory under the
+// node's wire address, and dialers compare what the handshake presents
+// against what the directory says. No CA, no clock-sensitive chain
+// verification, no names: possession of the directory entry is the trust
+// root, exactly like the contact information itself.
+type Identity struct {
+	cert tls.Certificate
+	der  []byte
+}
+
+// NewIdentity mints a fresh self-signed ed25519 identity.
+func NewIdentity(name string) (*Identity, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	serial, err := rand.Int(rand.Reader, new(big.Int).Lsh(big.NewInt(1), 128))
+	if err != nil {
+		return nil, err
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber: serial,
+		Subject:      pkix.Name{CommonName: name},
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(24 * time.Hour),
+		KeyUsage:     x509.KeyUsageDigitalSignature | x509.KeyUsageCertSign,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, pub, priv)
+	if err != nil {
+		return nil, err
+	}
+	return &Identity{
+		cert: tls.Certificate{Certificate: [][]byte{der}, PrivateKey: priv},
+		der:  der,
+	}, nil
+}
+
+// ServerTLS is the tls.Config handed to evpath.ServeTCP.
+func (id *Identity) ServerTLS() *tls.Config {
+	return &tls.Config{Certificates: []tls.Certificate{id.cert}, MinVersion: tls.VersionTLS13}
+}
+
+// Publish binds the identity's certificate to the advertised wire
+// address in the directory ("cert!<addr>" -> base64 DER).
+func (id *Identity) Publish(dir directory.Directory, addr string, ttl time.Duration) error {
+	return registerMaybeTTL(dir, nsCert+addr, base64.StdEncoding.EncodeToString(id.der), ttl)
+}
+
+// PinnedClientTLS returns the client TLS hook for evpath.SetClientTLS:
+// given a "tls://host:port" address it looks the peer's published
+// certificate up and returns a config that accepts exactly those DER
+// bytes and nothing else.
+func PinnedClientTLS(dir directory.Directory, wait time.Duration) func(addr string) *tls.Config {
+	if wait <= 0 {
+		wait = 10 * time.Second
+	}
+	return func(addr string) *tls.Config {
+		b64, err := dir.WaitLookup(nsCert+addr, wait)
+		if err != nil {
+			return nil
+		}
+		want, err := base64.StdEncoding.DecodeString(b64)
+		if err != nil {
+			return nil
+		}
+		return &tls.Config{
+			// Chain and name verification are replaced by the byte-exact
+			// pin below; the handshake still authenticates possession of
+			// the private key.
+			InsecureSkipVerify: true,
+			MinVersion:         tls.VersionTLS13,
+			VerifyPeerCertificate: func(rawCerts [][]byte, _ [][]*x509.Certificate) error {
+				if len(rawCerts) == 1 && string(rawCerts[0]) == string(want) {
+					return nil
+				}
+				return fmt.Errorf("flexnode: peer %s presented a certificate that does not match its directory pin", addr)
+			},
+		}
+	}
+}
+
+// Bind wires a Contacts (and optionally a pinned-TLS dialer hook) into a
+// Net: published listeners and resolved dials both go through the
+// directory.
+func (c *Contacts) Bind(n *evpath.Net) {
+	n.SetPublisher(c)
+	n.SetResolver(c.Resolve)
+	n.SetClientTLS(PinnedClientTLS(c.Dir, c.Wait))
+}

@@ -1,0 +1,181 @@
+package flexnode
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"flexio/internal/directory"
+	"flexio/internal/evpath"
+)
+
+// TestDaemonLifecycle walks the state machine end to end on a leased
+// directory: Serving with a visible node lease kept alive by heartbeats,
+// live monitor endpoints, then Close -> Deregistered with the lease
+// retracted.
+func TestDaemonLifecycle(t *testing.T) {
+	dir := directory.NewMem()
+	d, err := Start(Config{
+		Name:        "node-a",
+		Dir:         dir,
+		LeaseTTL:    80 * time.Millisecond,
+		MetricsAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if got := d.State(); got != StateServing {
+		t.Fatalf("state after Start = %v, want serving", got)
+	}
+	if !strings.HasPrefix(d.Advertise(), "tcp://") {
+		t.Fatalf("Advertise = %q, want tcp://...", d.Advertise())
+	}
+	if c, err := dir.Lookup(NodeKey("node-a")); err != nil || c != d.Advertise() {
+		t.Fatalf("node lease = %q, %v", c, err)
+	}
+	// Heartbeats must hold the lease well past its TTL.
+	time.Sleep(250 * time.Millisecond)
+	if _, err := dir.Lookup(NodeKey("node-a")); err != nil {
+		t.Fatalf("node lease decayed despite heartbeats: %v", err)
+	}
+	// The monitor endpoint serves the wire-transport gauges.
+	resp, err := http.Get("http://" + d.MetricsAddr() + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "tcp.dials") {
+		t.Fatalf("/metrics missing tcp gauges:\n%s", body)
+	}
+
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if got := d.State(); got != StateDeregistered {
+		t.Fatalf("state after Close = %v, want deregistered", got)
+	}
+	if _, err := dir.Lookup(NodeKey("node-a")); !errors.Is(err, directory.ErrNotFound) {
+		t.Fatalf("node lease after Close = %v, want ErrNotFound", err)
+	}
+	// Double Close reports the bad transition instead of panicking.
+	if err := d.Close(); err == nil {
+		t.Fatal("second Close succeeded, want transition error")
+	}
+}
+
+// TestScenarioMatchesClosedForm: the in-process reference run produces
+// exactly the digests the closed form predicts — with and without a
+// mid-run reconfiguration.
+func TestScenarioMatchesClosedForm(t *testing.T) {
+	for _, tc := range []struct {
+		name          string
+		reconfigAfter int
+	}{
+		{"plain", -1},
+		{"reconfig", 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := Scenario{
+				Stream:        "sc-" + tc.name,
+				M:             2,
+				N:             2,
+				Steps:         6,
+				ReconfigAfter: tc.reconfigAfter,
+			}
+			hashes, err := sc.RunLocal(evpath.ChanTransport)
+			if err != nil {
+				t.Fatalf("RunLocal: %v", err)
+			}
+			for r, got := range hashes {
+				want, err := sc.ExpectedHash(r)
+				if err != nil {
+					t.Fatalf("ExpectedHash(%d): %v", r, err)
+				}
+				if got != want {
+					t.Fatalf("rank %d digest = %s, want %s", r, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestDistributedScenario is the in-process twin of the multiproc
+// experiment: four daemons with separate Nets — writer leader + worker,
+// reader leader + worker — talk exclusively through real TCP+TLS
+// sockets and a shared directory, survive an injected mid-run
+// disconnect, reconfigure the reader decomposition mid-stream, ship a
+// DC plug-in over the control connection, and still produce byte-exact
+// digests.
+func TestDistributedScenario(t *testing.T) {
+	dir := directory.NewMem()
+	sc := Scenario{
+		Stream:        "dist",
+		M:             2,
+		N:             2,
+		Steps:         6,
+		ReconfigAfter: 2,
+	}
+	node := func(name string) Config {
+		return Config{Name: name, Dir: dir, TLS: true, LeaseTTL: time.Second}
+	}
+	type result struct {
+		role string
+		err  error
+	}
+	results := make(chan result, 4)
+	run := func(role string, fn func(RoleConfig) error, cfg RoleConfig) {
+		go func() { results <- result{role, fn(cfg)} }()
+	}
+	run("writer-leader", RunWriterLeader, RoleConfig{
+		Node:     node("wl"),
+		Scenario: sc,
+		Ranks:    []int{0},
+		Faults:   evpath.TCPFaults{DropAfterSends: 9},
+	})
+	run("writer-worker", RunWriterWorker, RoleConfig{
+		Node: node("ww"), Scenario: sc, Ranks: []int{1},
+	})
+	run("reader-leader", RunReaderLeader, RoleConfig{
+		Node:     node("rl"),
+		Scenario: sc,
+		Ranks:    []int{0},
+		Plugin:   `setstr("deployed-by","flexnode");`,
+	})
+	run("reader-worker", RunReaderWorker, RoleConfig{
+		Node: node("rw"), Scenario: sc, Ranks: []int{1},
+	})
+	for i := 0; i < 4; i++ {
+		res := <-results
+		if res.err != nil {
+			t.Fatalf("%s: %v", res.role, res.err)
+		}
+	}
+	for r := 0; r < sc.N; r++ {
+		want, err := sc.ExpectedHash(r)
+		if err != nil {
+			t.Fatalf("ExpectedHash(%d): %v", r, err)
+		}
+		got, err := dir.Lookup(HashKey(sc.Stream, r))
+		if err != nil {
+			t.Fatalf("digest for rank %d not published: %v", r, err)
+		}
+		if got != want {
+			t.Fatalf("rank %d digest = %s, want %s (bytes diverged across the wire)", r, got, want)
+		}
+	}
+	// The injected disconnect actually happened and was survived.
+	stats, err := dir.Lookup(StatsKey(sc.Stream))
+	if err != nil {
+		t.Fatalf("writer-leader stats not published: %v", err)
+	}
+	if !strings.Contains(stats, "drops=1") {
+		t.Fatalf("stats = %q, want exactly one injected drop", stats)
+	}
+	if strings.Contains(stats, "redials=0,") {
+		t.Fatalf("stats = %q, want at least one redial", stats)
+	}
+}

@@ -1,0 +1,448 @@
+package flexnode
+
+import (
+	"fmt"
+	"sync"
+
+	"flexio/internal/core"
+	"flexio/internal/evpath"
+	"flexio/internal/ndarray"
+)
+
+// Rank hosting: core's WriterGroup/ReaderGroup aggregate their M (or N)
+// ranks inside one address space — the group leader. A flexnode that is
+// not the leader still hosts ranks by proxy: the leader daemon listens on
+// one contact per rank ("<stream>.host.w<k>" / "<stream>.host.r<k>"),
+// and a worker daemon drives its rank through a small request/response
+// protocol over an ordinary evpath connection (which, across processes,
+// rides the TCP/TLS wire transport). This mirrors the paper's staging
+// deployment: the leader is the staging/analytics node owning the group,
+// workers are the simulation or analytics processes whose rank I/O ships
+// to it, while bulk redistribution between the writer and reader leaders
+// crosses the wire directly.
+//
+// Protocol: each request is one evpath Event (meta Record + optional
+// bulk Data), answered by exactly one reply event. Ops mirror the core
+// per-rank API: begin/write/end for writers; select/begin/read/end plus
+// the reconfig barrier for readers. Errors travel in the reply's "err"
+// field; the connection is driven by a single client goroutine, so no
+// request pipelining or correlation ids are needed.
+
+// WriterRank is the per-rank writer API the scenario runs against —
+// implemented locally by core.Writer and remotely by RemoteWriter.
+type WriterRank interface {
+	BeginStep(step int64) error
+	Write(meta core.VarMeta, data []byte) error
+	EndStep() error
+}
+
+// ReaderRank is the per-rank reader API — implemented locally by
+// localReader (a core.Reader plus the reconfig controller) and remotely
+// by RemoteReader. Barrier is the reconfiguration rendezvous: called
+// between steps, it blocks until every rank of the group has arrived and
+// the leader's Reconfigure has completed.
+type ReaderRank interface {
+	SelectArray(name string, box ndarray.Box) error
+	BeginStep() (step int64, ok bool)
+	ReadArray(name string) ([]byte, ndarray.Box, error)
+	EndStep() error
+	Barrier(step int64) error
+}
+
+// rankContact names the leader's listener for one hosted rank.
+func rankContact(stream, role string, rank int) string {
+	return fmt.Sprintf("%s.host.%s%d", stream, role, rank)
+}
+
+func rpcCall(conn evpath.Conn, meta evpath.Record, data []byte) (*evpath.Event, error) {
+	buf, err := evpath.EncodeEvent(&evpath.Event{Meta: meta, Data: data})
+	if err != nil {
+		return nil, err
+	}
+	if err := conn.Send(buf); err != nil {
+		return nil, err
+	}
+	raw, err := conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	rep, err := evpath.DecodeEvent(raw)
+	if err != nil {
+		return nil, err
+	}
+	if msg, ok := rep.Meta.GetString("err"); ok && msg != "" {
+		return rep, fmt.Errorf("flexnode: remote rank: %s", msg)
+	}
+	return rep, nil
+}
+
+func rpcReply(conn evpath.Conn, meta evpath.Record, data []byte) error {
+	buf, err := evpath.EncodeEvent(&evpath.Event{Meta: meta, Data: data})
+	if err != nil {
+		return err
+	}
+	return conn.Send(buf)
+}
+
+func rpcError(conn evpath.Conn, err error) error {
+	return rpcReply(conn, evpath.Record{"err": err.Error()}, nil)
+}
+
+// --- Remote writer rank (worker side) ---
+
+// RemoteWriter drives a writer rank hosted by the stream's leader
+// daemon.
+type RemoteWriter struct{ conn evpath.Conn }
+
+// DialWriterRank connects to the leader's host listener for rank w.
+func DialWriterRank(n *evpath.Net, stream string, w int) (*RemoteWriter, error) {
+	conn, err := n.Dial(rankContact(stream, "w", w), evpath.TCPTransport, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteWriter{conn: conn}, nil
+}
+
+// BeginStep implements WriterRank.
+func (rw *RemoteWriter) BeginStep(step int64) error {
+	_, err := rpcCall(rw.conn, evpath.Record{"op": "begin", "step": step}, nil)
+	return err
+}
+
+// Write implements WriterRank.
+func (rw *RemoteWriter) Write(meta core.VarMeta, data []byte) error {
+	req := evpath.Record{
+		"op":   "write",
+		"name": meta.Name,
+		"kind": int64(meta.Kind),
+		"elem": int64(meta.ElemSize),
+	}
+	if len(meta.GlobalShape) > 0 {
+		req["shape"] = append([]int64(nil), meta.GlobalShape...)
+	}
+	if meta.Box.NDims() > 0 {
+		req["lo"] = append([]int64(nil), meta.Box.Lo...)
+		req["hi"] = append([]int64(nil), meta.Box.Hi...)
+	}
+	_, err := rpcCall(rw.conn, req, data)
+	return err
+}
+
+// EndStep implements WriterRank.
+func (rw *RemoteWriter) EndStep() error {
+	_, err := rpcCall(rw.conn, evpath.Record{"op": "end"}, nil)
+	return err
+}
+
+// Close releases the rank: the leader's server loop returns.
+func (rw *RemoteWriter) Close() error {
+	rpcCall(rw.conn, evpath.Record{"op": "finish"}, nil) //nolint:errcheck // best-effort goodbye
+	return rw.conn.Close()
+}
+
+// --- Remote reader rank (worker side) ---
+
+// RemoteReader drives a reader rank hosted by the stream's reader-leader
+// daemon.
+type RemoteReader struct{ conn evpath.Conn }
+
+// DialReaderRank connects to the leader's host listener for rank r.
+func DialReaderRank(n *evpath.Net, stream string, r int) (*RemoteReader, error) {
+	conn, err := n.Dial(rankContact(stream, "r", r), evpath.TCPTransport, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteReader{conn: conn}, nil
+}
+
+// SelectArray implements ReaderRank.
+func (rr *RemoteReader) SelectArray(name string, box ndarray.Box) error {
+	req := evpath.Record{"op": "select", "name": name}
+	if box.NDims() > 0 {
+		req["lo"] = append([]int64(nil), box.Lo...)
+		req["hi"] = append([]int64(nil), box.Hi...)
+	}
+	_, err := rpcCall(rr.conn, req, nil)
+	return err
+}
+
+// BeginStep implements ReaderRank. ok=false signals end of stream.
+func (rr *RemoteReader) BeginStep() (int64, bool) {
+	rep, err := rpcCall(rr.conn, evpath.Record{"op": "begin"}, nil)
+	if err != nil {
+		return 0, false
+	}
+	step, _ := rep.Meta.GetInt("step")
+	more, _ := rep.Meta.GetBool("more")
+	return step, more
+}
+
+// ReadArray implements ReaderRank.
+func (rr *RemoteReader) ReadArray(name string) ([]byte, ndarray.Box, error) {
+	rep, err := rpcCall(rr.conn, evpath.Record{"op": "read", "name": name}, nil)
+	if err != nil {
+		return nil, ndarray.Box{}, err
+	}
+	lo, _ := rep.Meta.GetInts("lo")
+	hi, _ := rep.Meta.GetInts("hi")
+	return rep.Data, ndarray.NewBox(lo, hi), nil
+}
+
+// EndStep implements ReaderRank.
+func (rr *RemoteReader) EndStep() error {
+	_, err := rpcCall(rr.conn, evpath.Record{"op": "end"}, nil)
+	return err
+}
+
+// Barrier implements ReaderRank: blocks until the leader's
+// reconfiguration completes.
+func (rr *RemoteReader) Barrier(step int64) error {
+	_, err := rpcCall(rr.conn, evpath.Record{"op": "barrier", "step": step}, nil)
+	return err
+}
+
+// Close releases the rank.
+func (rr *RemoteReader) Close() error {
+	rpcCall(rr.conn, evpath.Record{"op": "finish"}, nil) //nolint:errcheck
+	return rr.conn.Close()
+}
+
+// --- Leader-side rank servers ---
+
+// ReconfigController coordinates one mid-run Reconfigure across all N
+// reader ranks of a group: every rank Arrives between two steps, the
+// last arrival performs the switch, and all ranks observe its result.
+type ReconfigController struct {
+	G    *core.ReaderGroup
+	Spec core.ReconfigSpec
+	N    int
+
+	mu      sync.Mutex
+	arrived int
+	done    chan struct{}
+	err     error
+}
+
+// NewReconfigController makes a controller for n ranks.
+func NewReconfigController(g *core.ReaderGroup, spec core.ReconfigSpec, n int) *ReconfigController {
+	return &ReconfigController{G: g, Spec: spec, N: n, done: make(chan struct{})}
+}
+
+// Arrive blocks until all ranks have arrived and the reconfiguration has
+// run; it returns the Reconfigure error (shared by every rank).
+func (c *ReconfigController) Arrive() error {
+	c.mu.Lock()
+	c.arrived++
+	if c.arrived == c.N {
+		c.err = c.G.Reconfigure(c.Spec)
+		close(c.done)
+	}
+	c.mu.Unlock()
+	<-c.done
+	return c.err
+}
+
+// localReader adapts one core reader rank (plus the optional reconfig
+// controller) to ReaderRank. After a barrier the core handle is
+// re-fetched, as Reconfigure invalidates old handles.
+type localReader struct {
+	g    *core.ReaderGroup
+	rank int
+	ctl  *ReconfigController
+	rd   *core.Reader
+}
+
+// NewLocalReader wraps rank r of g; ctl may be nil when the run has no
+// reconfiguration.
+func NewLocalReader(g *core.ReaderGroup, r int, ctl *ReconfigController) ReaderRank {
+	return &localReader{g: g, rank: r, ctl: ctl, rd: g.Reader(r)}
+}
+
+func (lr *localReader) SelectArray(name string, box ndarray.Box) error {
+	return lr.rd.SelectArray(name, box)
+}
+func (lr *localReader) BeginStep() (int64, bool) { return lr.rd.BeginStep() }
+func (lr *localReader) ReadArray(name string) ([]byte, ndarray.Box, error) {
+	return lr.rd.ReadArray(name)
+}
+func (lr *localReader) EndStep() error { return lr.rd.EndStep() }
+func (lr *localReader) Barrier(step int64) error {
+	if lr.ctl == nil {
+		return fmt.Errorf("flexnode: rank %d hit a barrier but no reconfiguration is planned", lr.rank)
+	}
+	if err := lr.ctl.Arrive(); err != nil {
+		return err
+	}
+	lr.rd = lr.g.Reader(lr.rank)
+	return nil
+}
+
+// HostWriterRank exposes writer rank w of wg on the daemon's net: remote
+// workers dial rankContact(stream, "w", w) and drive the rank. The
+// listener serves exactly one worker connection; the returned channel
+// closes when the worker finishes or hangs up.
+func (d *Daemon) HostWriterRank(wg *core.WriterGroup, stream string, w int) (<-chan struct{}, error) {
+	l, err := d.Net.Listen(rankContact(stream, "w", w))
+	if err != nil {
+		return nil, err
+	}
+	roleDone := d.trackRole(l)
+	done := make(chan struct{})
+	go func() {
+		defer roleDone()
+		defer close(done)
+		defer l.Close()
+		conn, ok := l.Accept()
+		if !ok {
+			return
+		}
+		defer conn.Close()
+		serveWriterConn(conn, wg.Writer(w))
+	}()
+	return done, nil
+}
+
+// HostReaderRank exposes reader rank r of g, with ctl coordinating any
+// mid-run reconfiguration (nil when none is planned). The returned
+// channel closes when the worker finishes or hangs up.
+func (d *Daemon) HostReaderRank(g *core.ReaderGroup, stream string, r int, ctl *ReconfigController) (<-chan struct{}, error) {
+	l, err := d.Net.Listen(rankContact(stream, "r", r))
+	if err != nil {
+		return nil, err
+	}
+	roleDone := d.trackRole(l)
+	done := make(chan struct{})
+	go func() {
+		defer roleDone()
+		defer close(done)
+		defer l.Close()
+		conn, ok := l.Accept()
+		if !ok {
+			return
+		}
+		defer conn.Close()
+		serveReaderConn(conn, NewLocalReader(g, r, ctl))
+	}()
+	return done, nil
+}
+
+func serveWriterConn(conn evpath.Conn, wr *core.Writer) {
+	for {
+		raw, err := conn.Recv()
+		if err != nil {
+			return // EOF or failed worker; the group's own EOS handles cleanup
+		}
+		req, err := evpath.DecodeEvent(raw)
+		if err != nil {
+			rpcError(conn, err) //nolint:errcheck
+			continue
+		}
+		op, _ := req.Meta.GetString("op")
+		switch op {
+		case "begin":
+			step, _ := req.Meta.GetInt("step")
+			reply(conn, wr.BeginStep(step))
+		case "write":
+			name, _ := req.Meta.GetString("name")
+			kind, _ := req.Meta.GetInt("kind")
+			elem, _ := req.Meta.GetInt("elem")
+			shape, _ := req.Meta.GetInts("shape")
+			lo, _ := req.Meta.GetInts("lo")
+			hi, _ := req.Meta.GetInts("hi")
+			meta := core.VarMeta{
+				Name:        name,
+				Kind:        core.VarKind(kind),
+				ElemSize:    int(elem),
+				GlobalShape: shape,
+				Box:         ndarray.NewBox(lo, hi),
+			}
+			reply(conn, wr.Write(meta, req.Data))
+		case "end":
+			reply(conn, wr.EndStep())
+		case "finish":
+			rpcReply(conn, evpath.Record{"ok": true}, nil) //nolint:errcheck
+			return
+		default:
+			rpcError(conn, fmt.Errorf("unknown writer op %q", op)) //nolint:errcheck
+		}
+	}
+}
+
+func serveReaderConn(conn evpath.Conn, rd ReaderRank) {
+	for {
+		raw, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		req, err := evpath.DecodeEvent(raw)
+		if err != nil {
+			rpcError(conn, err) //nolint:errcheck
+			continue
+		}
+		op, _ := req.Meta.GetString("op")
+		switch op {
+		case "select":
+			name, _ := req.Meta.GetString("name")
+			lo, _ := req.Meta.GetInts("lo")
+			hi, _ := req.Meta.GetInts("hi")
+			reply(conn, rd.SelectArray(name, ndarray.NewBox(lo, hi)))
+		case "begin":
+			step, more := rd.BeginStep()
+			rpcReply(conn, evpath.Record{"step": step, "more": more}, nil) //nolint:errcheck
+		case "read":
+			name, _ := req.Meta.GetString("name")
+			data, box, err := rd.ReadArray(name)
+			if err != nil {
+				rpcError(conn, err) //nolint:errcheck
+				continue
+			}
+			rep := evpath.Record{}
+			if box.NDims() > 0 {
+				rep["lo"] = append([]int64(nil), box.Lo...)
+				rep["hi"] = append([]int64(nil), box.Hi...)
+			}
+			// EncodeEvent copies data into the reply frame, so the pool
+			// buffer can be released before Send (chan transports pass
+			// slices by reference).
+			buf, encErr := evpath.EncodeEvent(&evpath.Event{Meta: rep, Data: data})
+			release(rd, data)
+			if encErr != nil {
+				rpcError(conn, encErr) //nolint:errcheck
+				continue
+			}
+			if conn.Send(buf) != nil {
+				return
+			}
+		case "end":
+			reply(conn, rd.EndStep())
+		case "barrier":
+			reply(conn, rd.Barrier(mustInt(req.Meta, "step")))
+		case "finish":
+			rpcReply(conn, evpath.Record{"ok": true}, nil) //nolint:errcheck
+			return
+		default:
+			rpcError(conn, fmt.Errorf("unknown reader op %q", op)) //nolint:errcheck
+		}
+	}
+}
+
+// release returns a ReadArray buffer to the pool when the rank is a
+// local core reader (remote ranks hand out plain slices).
+func release(rd ReaderRank, buf []byte) {
+	if lr, ok := rd.(*localReader); ok {
+		lr.rd.ReleaseArray(buf)
+	}
+}
+
+func mustInt(r evpath.Record, name string) int64 {
+	v, _ := r.GetInt(name)
+	return v
+}
+
+func reply(conn evpath.Conn, err error) {
+	if err != nil {
+		rpcError(conn, err) //nolint:errcheck
+		return
+	}
+	rpcReply(conn, evpath.Record{"ok": true}, nil) //nolint:errcheck
+}

@@ -1,0 +1,255 @@
+package flexnode
+
+import (
+	"fmt"
+
+	"flexio/internal/core"
+	"flexio/internal/dcplugin"
+	"flexio/internal/evpath"
+)
+
+// Role runners: the four jobs a flexnode takes in a deployed coupled
+// scenario. The writer leader owns the WriterGroup and local writer
+// ranks, and hosts the remaining writer ranks for worker daemons; the
+// reader leader mirrors that for the ReaderGroup, and additionally
+// drives the mid-run reconfiguration and the DC plug-in deployment.
+// Workers attach to their leader's rank-host listeners and run exactly
+// the same scenario code through the remote proxies. cmd/flexnode and
+// the multiproc experiment's child processes are thin wrappers over
+// these functions.
+
+// RoleConfig parameterizes one role run.
+type RoleConfig struct {
+	// Node configures the daemon itself.
+	Node Config
+	// Scenario is the shared deterministic workload (all processes must
+	// agree on it byte for byte).
+	Scenario Scenario
+	// Ranks lists the scenario ranks this process runs locally. For
+	// leaders, the remaining ranks are hosted for workers; workers run
+	// all their ranks through remote proxies.
+	Ranks []int
+	// Faults, for the writer leader, injects wire faults before
+	// streaming (the deployment-level disconnect drill).
+	Faults evpath.TCPFaults
+	// Plugin, for the reader leader, is a DC plug-in source to ship to
+	// the writer side over the control connection ("" ships nothing).
+	Plugin string
+	// PluginName names the shipped plug-in (default "flexnode-annot").
+	PluginName string
+}
+
+// StatsKey names the directory entry under which the writer leader
+// publishes its wire-transport counters after the run.
+func StatsKey(stream string) string { return "stats!" + stream + ".wleader" }
+
+// EpochKey names the directory entry under which the reader leader
+// publishes the stream's final session epoch (2 after one mid-run
+// reconfiguration).
+func EpochKey(stream string) string { return "epoch!" + stream }
+
+func others(total int, local []int) []int {
+	mine := make(map[int]bool, len(local))
+	for _, r := range local {
+		mine[r] = true
+	}
+	var out []int
+	for r := 0; r < total; r++ {
+		if !mine[r] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// tcpEverywhere is the placement for a deployed stream: every
+// writer-reader pair crosses the wire.
+func tcpEverywhere(w, r int) (evpath.TransportKind, int, int) {
+	return evpath.TCPTransport, 0, 0
+}
+
+// RunWriterLeader starts a daemon, creates the stream's WriterGroup,
+// runs cfg.Ranks locally, hosts the rest, closes the stream at EOS and
+// publishes the node's wire counters for the driver's assertions.
+func RunWriterLeader(cfg RoleConfig) error {
+	sc := cfg.Scenario.withDefaults()
+	d, err := Start(cfg.Node)
+	if err != nil {
+		return err
+	}
+	defer d.Close() //nolint:errcheck
+	if cfg.Faults != (evpath.TCPFaults{}) {
+		d.Net.InjectTCPFaults(cfg.Faults)
+	}
+	opts := core.Options{Transport: tcpEverywhere}
+	wg, err := core.NewWriterGroup(d.Net, cfg.Node.Dir, sc.Stream, sc.M, opts, d.Mon)
+	if err != nil {
+		return err
+	}
+
+	var hosted []<-chan struct{}
+	for _, w := range others(sc.M, cfg.Ranks) {
+		ch, err := d.HostWriterRank(wg, sc.Stream, w)
+		if err != nil {
+			return err
+		}
+		hosted = append(hosted, ch)
+	}
+	errCh := make(chan error, len(cfg.Ranks))
+	for i, w := range cfg.Ranks {
+		w := w
+		var hold func()
+		if i == 0 && sc.ReconfigAfter >= 0 {
+			hold = holdForReconfig(wg)
+		}
+		go func() { errCh <- sc.RunWriter(w, wg.Writer(w), hold) }()
+	}
+	for range cfg.Ranks {
+		if err := <-errCh; err != nil {
+			return err
+		}
+	}
+	for _, ch := range hosted {
+		<-ch
+	}
+	if err := wg.Close(); err != nil {
+		return err
+	}
+	s := d.Net.TCPStatsSnapshot()
+	stats := fmt.Sprintf("dials=%d,redials=%d,resumes=%d,drops=%d,bytes_tx=%d,bytes_rx=%d",
+		s.Dials, s.Redials, s.Resumes, s.Drops, s.BytesTX, s.BytesRX)
+	if err := cfg.Node.Dir.Register(StatsKey(sc.Stream), stats); err != nil {
+		return err
+	}
+	return d.Close()
+}
+
+// RunReaderLeader starts a daemon, opens the stream's ReaderGroup, ships
+// the DC plug-in, runs cfg.Ranks locally (publishing their digests),
+// hosts the rest, and coordinates the mid-run reconfiguration.
+func RunReaderLeader(cfg RoleConfig) error {
+	sc := cfg.Scenario.withDefaults()
+	d, err := Start(cfg.Node)
+	if err != nil {
+		return err
+	}
+	defer d.Close() //nolint:errcheck
+	rg, err := core.NewReaderGroup(d.Net, cfg.Node.Dir, sc.Stream, sc.N, d.Mon)
+	if err != nil {
+		return err
+	}
+	if cfg.Plugin != "" {
+		name := cfg.PluginName
+		if name == "" {
+			name = "flexnode-annot"
+		}
+		if err := rg.DeployPluginToWriters(dcplugin.Plugin{Name: name, Source: cfg.Plugin}); err != nil {
+			return fmt.Errorf("flexnode: plug-in deploy: %w", err)
+		}
+	}
+	var ctl *ReconfigController
+	if sc.ReconfigAfter >= 0 {
+		spec, err := sc.ReconfigSpec()
+		if err != nil {
+			return err
+		}
+		ctl = NewReconfigController(rg, spec, sc.N)
+	}
+	var hosted []<-chan struct{}
+	for _, r := range others(sc.N, cfg.Ranks) {
+		ch, err := d.HostReaderRank(rg, sc.Stream, r, ctl)
+		if err != nil {
+			return err
+		}
+		hosted = append(hosted, ch)
+	}
+	errCh := make(chan error, len(cfg.Ranks))
+	for _, r := range cfg.Ranks {
+		r := r
+		go func() {
+			h, err := sc.RunReader(r, NewLocalReader(rg, r, ctl))
+			if err == nil {
+				err = cfg.Node.Dir.Register(HashKey(sc.Stream, r), h)
+			}
+			errCh <- err
+		}()
+	}
+	for range cfg.Ranks {
+		if err := <-errCh; err != nil {
+			return err
+		}
+	}
+	for _, ch := range hosted {
+		<-ch
+	}
+	if err := cfg.Node.Dir.Register(EpochKey(sc.Stream), fmt.Sprintf("%d", rg.SessionEpoch())); err != nil {
+		return err
+	}
+	rg.Close() //nolint:errcheck // EOS already consumed by every rank
+	return d.Close()
+}
+
+// RunWriterWorker starts a daemon and drives cfg.Ranks through the
+// writer leader's rank-host listeners.
+func RunWriterWorker(cfg RoleConfig) error {
+	sc := cfg.Scenario.withDefaults()
+	d, err := Start(cfg.Node)
+	if err != nil {
+		return err
+	}
+	defer d.Close() //nolint:errcheck
+	errCh := make(chan error, len(cfg.Ranks))
+	for _, w := range cfg.Ranks {
+		w := w
+		go func() {
+			rw, err := DialWriterRank(d.Net, sc.Stream, w)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			err = sc.RunWriter(w, rw, nil)
+			rw.Close() //nolint:errcheck
+			errCh <- err
+		}()
+	}
+	for range cfg.Ranks {
+		if err := <-errCh; err != nil {
+			return err
+		}
+	}
+	return d.Close()
+}
+
+// RunReaderWorker starts a daemon, drives cfg.Ranks through the reader
+// leader's rank-host listeners and publishes their digests.
+func RunReaderWorker(cfg RoleConfig) error {
+	sc := cfg.Scenario.withDefaults()
+	d, err := Start(cfg.Node)
+	if err != nil {
+		return err
+	}
+	defer d.Close() //nolint:errcheck
+	errCh := make(chan error, len(cfg.Ranks))
+	for _, r := range cfg.Ranks {
+		r := r
+		go func() {
+			rr, err := DialReaderRank(d.Net, sc.Stream, r)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			h, err := sc.RunReader(r, rr)
+			if err == nil {
+				err = cfg.Node.Dir.Register(HashKey(sc.Stream, r), h)
+			}
+			rr.Close() //nolint:errcheck
+			errCh <- err
+		}()
+	}
+	for range cfg.Ranks {
+		if err := <-errCh; err != nil {
+			return err
+		}
+	}
+	return d.Close()
+}

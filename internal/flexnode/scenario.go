@@ -1,0 +1,311 @@
+package flexnode
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"flexio/internal/core"
+	"flexio/internal/directory"
+	"flexio/internal/evpath"
+	"flexio/internal/monitor"
+	"flexio/internal/ndarray"
+)
+
+// Scenario is the deterministic coupled workload used to prove that a
+// multi-process deployment moves exactly the same bytes as an in-process
+// run: M writer ranks produce a 2-D global array whose every element is
+// a pure function of (step, i, j); N reader ranks consume block
+// selections and fold (step, box, data) into an FNV-1a digest. Because
+// the data is coordinate-determined, each rank's digest has a closed
+// form (ExpectedHash) independent of writer decomposition, transport,
+// process placement, or injected faults — any byte lost, duplicated or
+// reordered anywhere in the pipeline changes the digest.
+type Scenario struct {
+	Stream string
+	// Shape is the global array shape; default {48, 64}.
+	Shape []int64
+	// M and N are the writer and reader rank counts.
+	M, N int
+	// Steps is the number of timesteps written.
+	Steps int
+	// ReconfigAfter, when >= 0, reconfigures the reader group (same N,
+	// orthogonal block decomposition) after every rank has consumed this
+	// step. Must be < Steps-1 so post-switch steps exist.
+	ReconfigAfter int
+}
+
+const scenarioVar = "field"
+
+func (sc *Scenario) withDefaults() Scenario {
+	out := *sc
+	if len(out.Shape) == 0 {
+		out.Shape = []int64{48, 64}
+	}
+	if out.Steps <= 0 {
+		out.Steps = 6
+	}
+	return out
+}
+
+// WriterBoxes is the writer-rank decomposition of the global array.
+func (sc *Scenario) WriterBoxes() ([]ndarray.Box, error) {
+	s := sc.withDefaults()
+	dec, err := ndarray.BlockDecompose(s.Shape, ndarray.FactorGrid(s.M, len(s.Shape)))
+	if err != nil {
+		return nil, err
+	}
+	return dec.Boxes, nil
+}
+
+// ReaderBoxes is the reader-rank selection decomposition: rows-split
+// before the reconfiguration, columns-split after — deliberately
+// orthogonal so the switch re-routes every writer-reader pair.
+func (sc *Scenario) ReaderBoxes(post bool) ([]ndarray.Box, error) {
+	s := sc.withDefaults()
+	grid := []int{s.N, 1}
+	if post {
+		grid = []int{1, s.N}
+	}
+	dec, err := ndarray.BlockDecompose(s.Shape, grid)
+	if err != nil {
+		return nil, err
+	}
+	return dec.Boxes, nil
+}
+
+// ReconfigSpec builds the mid-run switch for the reader group.
+func (sc *Scenario) ReconfigSpec() (core.ReconfigSpec, error) {
+	boxes, err := sc.ReaderBoxes(true)
+	if err != nil {
+		return core.ReconfigSpec{}, err
+	}
+	return core.ReconfigSpec{
+		NReaders: sc.withDefaults().N,
+		Arrays:   map[string][]ndarray.Box{scenarioVar: boxes},
+	}, nil
+}
+
+// elem is the deterministic element value at global (i, j) of step s.
+func elem(step, i, j int64) uint64 {
+	return uint64(step)*0x9E3779B97F4A7C15 ^ uint64(i)*0xC2B2AE3D27D4EB4F ^ uint64(j)*0x165667B19E3779F9
+}
+
+// Fill materializes a box of step data, row-major, 8 bytes per element.
+func (sc *Scenario) Fill(step int64, box ndarray.Box) []byte {
+	out := make([]byte, 0, box.NumElements()*8)
+	for i := box.Lo[0]; i < box.Hi[0]; i++ {
+		for j := box.Lo[1]; j < box.Hi[1]; j++ {
+			out = binary.LittleEndian.AppendUint64(out, elem(step, i, j))
+		}
+	}
+	return out
+}
+
+// digest folds one consumed step into a rank's running hash.
+func digestStep(h interface{ Write(p []byte) (int, error) }, step int64, box ndarray.Box, data []byte) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(step))
+	h.Write(b[:]) //nolint:errcheck // fnv never fails
+	for d := 0; d < box.NDims(); d++ {
+		binary.LittleEndian.PutUint64(b[:], uint64(box.Lo[d]))
+		h.Write(b[:]) //nolint:errcheck
+		binary.LittleEndian.PutUint64(b[:], uint64(box.Hi[d]))
+		h.Write(b[:]) //nolint:errcheck
+	}
+	h.Write(data) //nolint:errcheck
+}
+
+// ExpectedHash is the closed-form digest reader rank r must produce:
+// what RunReader computes when every byte arrives intact, regardless of
+// deployment shape.
+func (sc *Scenario) ExpectedHash(r int) (string, error) {
+	s := sc.withDefaults()
+	pre, err := s.ReaderBoxes(false)
+	if err != nil {
+		return "", err
+	}
+	post, err := s.ReaderBoxes(true)
+	if err != nil {
+		return "", err
+	}
+	h := fnv.New64a()
+	for step := 0; step < s.Steps; step++ {
+		box := pre[r]
+		if s.ReconfigAfter >= 0 && step > s.ReconfigAfter {
+			box = post[r]
+		}
+		digestStep(h, int64(step), box, s.Fill(int64(step), box))
+	}
+	return fmt.Sprintf("%016x", h.Sum64()), nil
+}
+
+// RunWriter drives writer rank w through the whole scenario. hold, when
+// non-nil, is called after the ReconfigAfter step boundary and must
+// return once the reader's reconfiguration request has been parked at
+// the writer group — keeping the switch window open (exactly the
+// discipline of the reconfig benchmark). Pass nil for ranks in processes
+// that cannot observe the group's session state.
+func (sc *Scenario) RunWriter(w int, wr WriterRank, hold func()) error {
+	s := sc.withDefaults()
+	boxes, err := s.WriterBoxes()
+	if err != nil {
+		return err
+	}
+	box := boxes[w]
+	meta := core.VarMeta{
+		Name:        scenarioVar,
+		Kind:        core.GlobalArrayVar,
+		ElemSize:    8,
+		GlobalShape: s.Shape,
+		Box:         box,
+	}
+	for step := 0; step < s.Steps; step++ {
+		if err := wr.BeginStep(int64(step)); err != nil {
+			return fmt.Errorf("writer %d step %d: %w", w, step, err)
+		}
+		if err := wr.Write(meta, s.Fill(int64(step), box)); err != nil {
+			return fmt.Errorf("writer %d step %d: %w", w, step, err)
+		}
+		if err := wr.EndStep(); err != nil {
+			return fmt.Errorf("writer %d step %d: %w", w, step, err)
+		}
+		if hold != nil && s.ReconfigAfter >= 0 && step == s.ReconfigAfter {
+			hold()
+		}
+	}
+	return nil
+}
+
+// RunReader drives reader rank r through the whole scenario and returns
+// its output digest. The rank selects its pre-switch box, consumes steps
+// until EOS, and rendezvouses at the reconfiguration barrier after the
+// agreed step.
+func (sc *Scenario) RunReader(r int, rd ReaderRank) (string, error) {
+	s := sc.withDefaults()
+	pre, err := s.ReaderBoxes(false)
+	if err != nil {
+		return "", err
+	}
+	if err := rd.SelectArray(scenarioVar, pre[r]); err != nil {
+		return "", fmt.Errorf("reader %d select: %w", r, err)
+	}
+	h := fnv.New64a()
+	consumed := 0
+	for {
+		step, ok := rd.BeginStep()
+		if !ok {
+			break
+		}
+		data, box, err := rd.ReadArray(scenarioVar)
+		if err != nil {
+			return "", fmt.Errorf("reader %d step %d: %w", r, step, err)
+		}
+		digestStep(h, step, box, data)
+		if err := rd.EndStep(); err != nil {
+			return "", fmt.Errorf("reader %d step %d end: %w", r, step, err)
+		}
+		consumed++
+		if s.ReconfigAfter >= 0 && step == int64(s.ReconfigAfter) {
+			if err := rd.Barrier(step); err != nil {
+				return "", fmt.Errorf("reader %d reconfig barrier: %w", r, err)
+			}
+		}
+	}
+	if consumed != s.Steps {
+		return "", fmt.Errorf("reader %d consumed %d steps, want %d", r, consumed, s.Steps)
+	}
+	return fmt.Sprintf("%016x", h.Sum64()), nil
+}
+
+// holdForReconfig builds the writer-side hold callback: it spins until
+// the group has parked a reconfiguration request (cf. the reconfig
+// benchmark's boundary discipline).
+func holdForReconfig(wg *core.WriterGroup) func() {
+	return func() {
+		for wg.SessionState() != core.StateReconfiguring {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+}
+
+// RunLocal executes the whole scenario in one process over the given
+// transport kind (chan by default) and returns the per-rank reader
+// digests. This is the reference run the multi-process deployment is
+// compared against, and doubles as the scenario's own unit test harness.
+func (sc *Scenario) RunLocal(kind evpath.TransportKind) ([]string, error) {
+	s := sc.withDefaults()
+	if s.Stream == "" {
+		return nil, fmt.Errorf("flexnode: scenario needs a Stream")
+	}
+	net := evpath.NewNet(nil)
+	dir := directory.NewMem()
+	mon := monitor.New("local")
+	opts := core.Options{
+		Transport: func(w, r int) (evpath.TransportKind, int, int) { return kind, 0, 0 },
+	}
+	wg, err := core.NewWriterGroup(net, dir, s.Stream, s.M, opts, mon)
+	if err != nil {
+		return nil, err
+	}
+	rg, err := core.NewReaderGroup(net, dir, s.Stream, s.N, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	var ctl *ReconfigController
+	if s.ReconfigAfter >= 0 {
+		spec, err := s.ReconfigSpec()
+		if err != nil {
+			return nil, err
+		}
+		ctl = NewReconfigController(rg, spec, s.N)
+	}
+
+	errCh := make(chan error, s.M+s.N)
+	var wrs sync.WaitGroup
+	for w := 0; w < s.M; w++ {
+		w := w
+		var hold func()
+		if w == 0 && s.ReconfigAfter >= 0 {
+			hold = holdForReconfig(wg)
+		}
+		wrs.Add(1)
+		go func() {
+			defer wrs.Done()
+			if err := s.RunWriter(w, wg.Writer(w), hold); err != nil {
+				errCh <- err
+			}
+		}()
+	}
+	hashes := make([]string, s.N)
+	var rds sync.WaitGroup
+	for r := 0; r < s.N; r++ {
+		r := r
+		rds.Add(1)
+		go func() {
+			defer rds.Done()
+			h, err := s.RunReader(r, NewLocalReader(rg, r, ctl))
+			if err != nil {
+				errCh <- err
+				return
+			}
+			hashes[r] = h
+		}()
+	}
+	wrs.Wait()
+	if err := wg.Close(); err != nil {
+		return nil, err
+	}
+	rds.Wait()
+	rg.Close() //nolint:errcheck // EOS already consumed
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return hashes, nil
+}
