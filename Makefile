@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check ci fmt vet build test race bench reconfig trace critpath replay multiproc
+.PHONY: check ci fmt vet build test race bench soak reconfig trace critpath replay multiproc
 
 ## check: everything a PR must pass — formatting, vet, build, race tests.
 check: fmt vet build race
@@ -17,7 +17,9 @@ ci:
 	$(GO) test -run TestFlightNopOverheadBudget -count=1 ./internal/flight/
 	$(GO) test -run TestRedistMappingBudget -count=1 .
 	$(GO) test -run TestTCPStatsNopBudget -count=1 ./internal/evpath/
+	$(GO) test -run TestDirectoryLookupBudget -count=1 ./internal/directory/
 	$(MAKE) multiproc
+	$(MAKE) soak
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -89,6 +91,18 @@ critpath:
 multiproc:
 	timeout 150 $(GO) run ./cmd/flexbench -exp multiproc \
 		|| { [ $$? -eq 127 ] && $(GO) run ./cmd/flexbench -exp multiproc; }
+
+## soak: the multi-tenant stream-fabric drill under the race detector —
+## 32 tenants x 16 epochs share one staging pool, one transport fabric
+## and one sharded directory; a quota-limited hot tenant must
+## backpressure against its own credit window without inflating any
+## steady tenant's P99 step latency, and two tenants are grown/shrunk
+## mid-run from observed signals. The outer timeout is a guard for
+## `make ci` (falls back to running bare where coreutils' timeout is
+## absent).
+soak:
+	timeout 150 $(GO) run -race ./cmd/flexbench -exp tenants \
+		|| { [ $$? -eq 127 ] && $(GO) run -race ./cmd/flexbench -exp tenants; }
 
 ## replay: determinism check — re-runs the journaled scenario from the
 ## same configuration and diffs the event streams; exits non-zero on any

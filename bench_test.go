@@ -40,7 +40,7 @@ func figureBench(b *testing.B, id string, metric func(*experiment.Figure) map[st
 	var fig *experiment.Figure
 	var err error
 	for i := 0; i < b.N; i++ {
-		fig, err = driver()
+		fig, err = driver.Run()
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -31,7 +31,7 @@ func main() {
 
 	if *list {
 		for _, id := range experiment.IDs() {
-			fmt.Println(id)
+			fmt.Printf("%-10s %s\n", id, experiment.Registry[id].Desc)
 		}
 		return
 	}
@@ -47,7 +47,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "flexbench: unknown experiment %q; known: %v\n", *exp, experiment.IDs())
 		os.Exit(2)
 	}
-	fig, err := driver()
+	fig, err := driver.Run()
 	if fig != nil {
 		fig.Fprint(os.Stdout) //nolint:errcheck
 	}

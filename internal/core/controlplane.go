@@ -190,7 +190,7 @@ func (g *WriterGroup) applyPendingReconfig(boundary int64) error {
 
 	// Atomic contact re-registration: publishes the (unchanged) coordinator
 	// contact under the new regime; late joiners resolve the live session.
-	g.dir.Register(g.Stream, g.Stream+".coord") //nolint:errcheck // replacement cannot fail on Mem
+	g.dir.Register(g.key, g.key+".coord") //nolint:errcheck // replacement cannot fail on Mem
 
 	if g.mon != nil {
 		g.mon.Incr("reconfig.count", 1)
@@ -232,6 +232,9 @@ func (g *WriterGroup) peerClosed() {
 		g.selCond.Broadcast()
 	}
 	g.selMu.Unlock()
+	// Producers blocked on tenant credits must observe the hangup too:
+	// their credits will never come back from a dead data plane.
+	g.credits.close()
 	g.sess.tryTransition(StateDraining)
 	g.closeDataConns()
 }
@@ -290,7 +293,7 @@ func (g *WriterGroup) ensureConns() error {
 		conns[w] = make([]evpath.Conn, g.nReaders)
 		for r := 0; r < g.nReaders; r++ {
 			kind, nodeW, nodeR := g.curTransport(w, r)
-			conn, err := g.net.Dial(dataContact(g.Stream, epoch, r), kind, nodeW, nodeR)
+			conn, err := g.net.Dial(dataContact(g.key, epoch, r), kind, nodeW, nodeR)
 			if err != nil {
 				return fmt.Errorf("core: dialing reader %d from writer %d: %w", r, w, err)
 			}
@@ -595,6 +598,9 @@ func (g *ReaderGroup) Reconfigure(spec ReconfigSpec) error {
 	if spec.NReaders <= 0 {
 		return fmt.Errorf("core: reconfig needs at least 1 rank")
 	}
+	if g.quota.MaxRanks > 0 && spec.NReaders > g.quota.MaxRanks {
+		return fmt.Errorf("%w: reconfig to %d reader ranks over MaxRanks %d", ErrOverQuota, spec.NReaders, g.quota.MaxRanks)
+	}
 	for name, boxes := range spec.Arrays {
 		if len(boxes) != spec.NReaders {
 			return fmt.Errorf("core: reconfig %q: %d boxes for %d ranks", name, len(boxes), spec.NReaders)
@@ -649,7 +655,7 @@ func (g *ReaderGroup) Reconfigure(spec ReconfigSpec) error {
 	newEpoch := g.sess.Epoch() + 1
 	newListeners := make([]*evpath.Listener, spec.NReaders)
 	for r := 0; r < spec.NReaders; r++ {
-		l, err := g.net.Listen(dataContact(g.Stream, newEpoch, r))
+		l, err := g.net.Listen(dataContact(g.key, newEpoch, r))
 		if err != nil {
 			for _, ll := range newListeners[:r] {
 				ll.Close()

@@ -27,11 +27,16 @@ var ErrEndOfStream = errors.New("core: end of stream")
 type ReaderGroup struct {
 	Stream   string
 	NReaders int
-	net      *evpath.Net
-	dir      directory.Directory
-	mon      *monitor.Monitor
-	journal  *flight.Journal // attached via SetJournal; nil = off
-	sess     *session
+	// key is the tenant-qualified directory key (directory.Qualify of the
+	// tenant and Stream) under which the stream and its epoch-qualified
+	// data contacts resolve.
+	key     string
+	quota   TenantQuota
+	net     *evpath.Net
+	dir     directory.Directory
+	mon     *monitor.Monitor
+	journal *flight.Journal // attached via SetJournal; nil = off
+	sess    *session
 
 	readers   []*Reader
 	coordConn evpath.Conn
@@ -142,20 +147,46 @@ type Reader struct {
 	entered  bool
 }
 
+// ReaderOptions configures the analytics side of a stream. The zero
+// value is the legacy single-tenant, unlimited-quota behavior.
+type ReaderOptions struct {
+	// Tenant scopes the stream lookup and every data contact under the
+	// tenant namespace; must match the writer side's Options.Tenant.
+	Tenant string
+	// Quota bounds the group's rank count, at construction and at every
+	// Reconfigure (MaxRanks; the flow-control fields act writer-side).
+	Quota TenantQuota
+}
+
 // NewReaderGroup opens the named stream: looks it up in the directory,
 // connects to the writer coordinator, and starts per-rank listeners for
 // the writers' data connections. mon may be nil.
 func NewReaderGroup(net *evpath.Net, dir directory.Directory, stream string, nReaders int, mon *monitor.Monitor) (*ReaderGroup, error) {
+	return NewReaderGroupOpts(net, dir, stream, nReaders, ReaderOptions{}, mon)
+}
+
+// NewReaderGroupOpts is NewReaderGroup under a tenant namespace and
+// quota.
+func NewReaderGroupOpts(net *evpath.Net, dir directory.Directory, stream string, nReaders int, ropts ReaderOptions, mon *monitor.Monitor) (*ReaderGroup, error) {
 	if nReaders <= 0 {
 		return nil, fmt.Errorf("core: reader group needs at least 1 rank")
 	}
-	contact, err := dir.WaitLookup(stream, 30*time.Second)
+	if err := directory.ValidateTenant(ropts.Tenant); err != nil {
+		return nil, err
+	}
+	if ropts.Quota.MaxRanks > 0 && nReaders > ropts.Quota.MaxRanks {
+		return nil, fmt.Errorf("%w: %d reader ranks over MaxRanks %d", ErrOverQuota, nReaders, ropts.Quota.MaxRanks)
+	}
+	key := directory.Qualify(ropts.Tenant, stream)
+	contact, err := dir.WaitLookup(key, 30*time.Second)
 	if err != nil {
 		return nil, err
 	}
 	g := &ReaderGroup{
 		Stream:    stream,
 		NReaders:  nReaders,
+		key:       key,
+		quota:     ropts.Quota,
 		net:       net,
 		dir:       dir,
 		mon:       mon,
@@ -174,9 +205,10 @@ func NewReaderGroup(net *evpath.Net, dir directory.Directory, stream string, nRe
 	}
 	g.cond = sync.NewCond(&g.mu)
 	// Per-rank data listeners must exist before the writers dial. Names
-	// are epoch-qualified; the first configuration is epoch 1.
+	// are epoch-qualified under the tenant namespace; the first
+	// configuration is epoch 1.
 	for r := 0; r < nReaders; r++ {
-		l, err := net.Listen(dataContact(stream, 1, r))
+		l, err := net.Listen(dataContact(key, 1, r))
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"errors"
+	"sync"
+
+	"flexio/internal/monitor"
+)
+
+// Per-tenant quota and backpressure. In the multi-tenant fabric many
+// sessions share one staging pool and one transport substrate; the
+// isolation guarantee is that a hot tenant saturating its own budget
+// blocks on *its own* credit window — its Write/EndStep calls stall —
+// and never occupies the shared transport with work beyond its quota,
+// so other tenants' step latency stays flat.
+
+// ErrOverQuota reports a request that exceeds the tenant's static quota
+// (e.g. more ranks than MaxRanks); it is a rejection, not backpressure —
+// waiting cannot help.
+var ErrOverQuota = errors.New("core: tenant quota exceeded")
+
+// TenantQuota bounds one tenant's footprint on the shared fabric. The
+// zero value means unlimited (single-tenant legacy behavior).
+type TenantQuota struct {
+	// MaxRanks caps the writer or reader ranks of one group (enforced at
+	// construction and at Reconfigure).
+	MaxRanks int
+	// MaxInflightSteps caps steps queued or flushing concurrently; the
+	// rank completing a step beyond it blocks in EndStep until a flush
+	// retires. In sync mode at most one step is ever in flight, so this
+	// bites only for async writers.
+	MaxInflightSteps int
+	// MaxStagedBytes caps deposited-but-unflushed payload bytes; a Write
+	// pushing past it blocks until flushed steps hand credits back. A
+	// single step larger than the whole budget is admitted when nothing
+	// else is staged (overdraft), so one oversized step degrades to
+	// synchronous behavior instead of deadlocking.
+	MaxStagedBytes int64
+}
+
+// creditWindow is one tenant group's backpressure state: two counters
+// (staged bytes, in-flight steps) guarded by a condition variable.
+// Acquisition happens on application threads (Write/EndStep), release on
+// the flush path, so a blocked producer always drains.
+type creditWindow struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	quota  TenantQuota
+	staged int64
+	steps  int
+	closed bool
+
+	mon    *monitor.Monitor
+	prefix string // "tenant.<id>." or "" for the anonymous tenant
+}
+
+func newCreditWindow(tenant string, quota TenantQuota, mon *monitor.Monitor) *creditWindow {
+	cw := &creditWindow{quota: quota, mon: mon}
+	if tenant != "" {
+		cw.prefix = "tenant." + tenant + "."
+	}
+	cw.cond = sync.NewCond(&cw.mu)
+	return cw
+}
+
+// gauge publishes the window's occupancy under the tenant prefix.
+// Caller holds cw.mu.
+func (cw *creditWindow) gaugeLocked() {
+	if cw.mon == nil {
+		return
+	}
+	cw.mon.Set(cw.prefix+"staged_bytes", cw.staged)
+	cw.mon.Set(cw.prefix+"inflight_steps", int64(cw.steps))
+}
+
+// acquireBytes blocks until n staged bytes fit in the tenant's budget.
+// The overdraft rule — always admit when nothing is staged — keeps a
+// single step larger than MaxStagedBytes from self-deadlocking.
+func (cw *creditWindow) acquireBytes(n int64) error {
+	if cw == nil || cw.quota.MaxStagedBytes <= 0 {
+		return nil
+	}
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	waited := false
+	for cw.staged > 0 && cw.staged+n > cw.quota.MaxStagedBytes {
+		if cw.closed {
+			return ErrSessionClosed
+		}
+		if !waited {
+			waited = true
+			if cw.mon != nil {
+				cw.mon.Incr(cw.prefix+"backpressure.waits", 1)
+			}
+		}
+		cw.cond.Wait()
+	}
+	if cw.closed {
+		return ErrSessionClosed
+	}
+	cw.staged += n
+	cw.gaugeLocked()
+	return nil
+}
+
+// releaseBytes returns staged credits after a step's payloads left the
+// staging area (flush completed, buffers back in the pool).
+func (cw *creditWindow) releaseBytes(n int64) {
+	if cw == nil || cw.quota.MaxStagedBytes <= 0 || n == 0 {
+		return
+	}
+	cw.mu.Lock()
+	cw.staged -= n
+	if cw.staged < 0 {
+		cw.staged = 0
+	}
+	cw.gaugeLocked()
+	cw.cond.Broadcast()
+	cw.mu.Unlock()
+}
+
+// acquireStep blocks until an in-flight step slot is free.
+func (cw *creditWindow) acquireStep() error {
+	if cw == nil || cw.quota.MaxInflightSteps <= 0 {
+		return nil
+	}
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	waited := false
+	for cw.steps >= cw.quota.MaxInflightSteps {
+		if cw.closed {
+			return ErrSessionClosed
+		}
+		if !waited {
+			waited = true
+			if cw.mon != nil {
+				cw.mon.Incr(cw.prefix+"backpressure.waits", 1)
+			}
+		}
+		cw.cond.Wait()
+	}
+	if cw.closed {
+		return ErrSessionClosed
+	}
+	cw.steps++
+	cw.gaugeLocked()
+	return nil
+}
+
+// releaseStep retires one in-flight step.
+func (cw *creditWindow) releaseStep() {
+	if cw == nil || cw.quota.MaxInflightSteps <= 0 {
+		return
+	}
+	cw.mu.Lock()
+	if cw.steps > 0 {
+		cw.steps--
+	}
+	cw.gaugeLocked()
+	cw.cond.Broadcast()
+	cw.mu.Unlock()
+}
+
+// close wakes every producer blocked on the window; they surface
+// ErrSessionClosed instead of waiting on credits that will never return.
+func (cw *creditWindow) close() {
+	if cw == nil {
+		return
+	}
+	cw.mu.Lock()
+	cw.closed = true
+	cw.cond.Broadcast()
+	cw.mu.Unlock()
+}

@@ -117,6 +117,16 @@ func (m *VarMeta) Validate() error {
 // Options configures a stream endpoint. The zero value is usable:
 // synchronous writes, no caching, no batching, chan transport everywhere.
 type Options struct {
+	// Tenant scopes the stream under a tenant namespace: every directory
+	// key (coordinator contact, epoch-qualified data contacts) is
+	// registered as "tenant/stream" (directory.Qualify), so many tenants
+	// can run identically-named streams on one shared directory. Empty
+	// means the legacy single-tenant namespace. Both endpoints of a
+	// stream must agree on the tenant.
+	Tenant string
+	// Quota bounds this tenant group's footprint on the shared fabric
+	// (see TenantQuota); the zero value is unlimited.
+	Quota TenantQuota
 	// Caching selects the handshake caching level.
 	Caching CachingLevel
 	// Batching packs all variables of a timestep into one framed transfer

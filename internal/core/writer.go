@@ -28,12 +28,17 @@ var ErrSessionClosed = errors.New("core: session closed by peer")
 type WriterGroup struct {
 	Stream   string
 	NWriters int
-	opts     Options
-	net      *evpath.Net
-	dir      directory.Directory
-	mon      *monitor.Monitor
-	journal  *flight.Journal // attached via SetJournal; nil = off
-	sess     *session
+	// key is the tenant-qualified directory key (directory.Qualify of
+	// Options.Tenant and Stream): what the coordinator contact and every
+	// epoch-qualified data contact register under.
+	key     string
+	opts    Options
+	net     *evpath.Net
+	dir     directory.Directory
+	mon     *monitor.Monitor
+	credits *creditWindow
+	journal *flight.Journal // attached via SetJournal; nil = off
+	sess    *session
 
 	writers []*Writer
 
@@ -101,8 +106,11 @@ type pendingStep struct {
 	step     int64
 	vars     map[int][]varData // writer rank -> written vars (in order)
 	deposits int
-	done     chan struct{}
-	err      error
+	// staged counts payload bytes holding tenant credits; they return to
+	// the credit window when the step's flush retires.
+	staged int64
+	done   chan struct{}
+	err    error
 }
 
 type varData struct {
@@ -137,13 +145,21 @@ func NewWriterGroup(net *evpath.Net, dir directory.Directory, stream string, nWr
 	if nWriters <= 0 {
 		return nil, fmt.Errorf("core: writer group needs at least 1 rank")
 	}
+	if err := directory.ValidateTenant(opts.Tenant); err != nil {
+		return nil, err
+	}
+	if opts.Quota.MaxRanks > 0 && nWriters > opts.Quota.MaxRanks {
+		return nil, fmt.Errorf("%w: %d writer ranks over MaxRanks %d", ErrOverQuota, nWriters, opts.Quota.MaxRanks)
+	}
 	g := &WriterGroup{
 		Stream:      stream,
 		NWriters:    nWriters,
+		key:         directory.Qualify(opts.Tenant, stream),
 		opts:        opts.withDefaults(),
 		net:         net,
 		dir:         dir,
 		mon:         mon,
+		credits:     newCreditWindow(opts.Tenant, opts.Quota, mon),
 		sess:        newSession("writer", mon),
 		lastDist:    make(map[string]string),
 		open:        make(map[int64]*pendingStep),
@@ -153,13 +169,13 @@ func NewWriterGroup(net *evpath.Net, dir directory.Directory, stream string, nWr
 	g.selCond = sync.NewCond(&g.selMu)
 	g.curTransport = g.opts.Transport
 
-	contact := stream + ".coord"
+	contact := g.key + ".coord"
 	l, err := net.Listen(contact)
 	if err != nil {
 		return nil, err
 	}
 	g.coordListener = l
-	if err := dir.Register(stream, contact); err != nil {
+	if err := dir.Register(g.key, contact); err != nil {
 		l.Close()
 		return nil, err
 	}
@@ -229,21 +245,32 @@ func (w *Writer) Write(meta VarMeta, data []byte) error {
 			return fmt.Errorf("core: scalar %q: %d bytes, want %d", meta.Name, need, meta.ElemSize)
 		}
 	}
-	cp, err := w.g.payloadPool.Get(len(data))
+	g := w.g
+	// Tenant backpressure: staging these bytes must fit the tenant's
+	// credit window. Blocks (outside any group lock) until earlier steps
+	// flush and hand credits back — the hot writer stalls here, on its own
+	// window, before its data ever reaches the shared transport.
+	if err := g.credits.acquireBytes(need); err != nil {
+		return err
+	}
+	cp, err := g.payloadPool.Get(len(data))
 	if err != nil {
+		g.credits.releaseBytes(need)
 		return err
 	}
 	copy(cp, data)
-	if w.g.mon != nil {
-		w.g.mon.RecordAlloc(int64(len(cp)))
+	if g.mon != nil {
+		g.mon.RecordAlloc(int64(len(cp)))
 	}
-	g := w.g
 	g.stepMu.Lock()
 	defer g.stepMu.Unlock()
 	if w.cur == nil {
+		g.payloadPool.Put(cp)
+		g.credits.releaseBytes(need)
 		return fmt.Errorf("core: rank %d Write before BeginStep", w.Rank)
 	}
 	w.cur.vars[w.Rank] = append(w.cur.vars[w.Rank], varData{meta: meta, data: cp})
+	w.cur.staged += need
 	return nil
 }
 
@@ -281,12 +308,29 @@ func (w *Writer) EndStep() error {
 		if err != nil {
 			return err
 		}
+		// Tenant backpressure: each queued step holds an in-flight slot
+		// until its flush retires; at MaxInflightSteps the completing rank
+		// stalls here, on its own tenant's window.
+		if err := g.credits.acquireStep(); err != nil {
+			return err
+		}
 		g.asyncCh <- ps
 		return nil
 	}
+	if err := g.credits.acquireStep(); err != nil {
+		return err
+	}
 	ps.err = g.flush(ps)
+	g.retireStepCredits(ps)
 	close(ps.done)
 	return ps.err
+}
+
+// retireStepCredits returns a flushed step's tenant credits — its staged
+// bytes and its in-flight slot — waking producers blocked on the window.
+func (g *WriterGroup) retireStepCredits(ps *pendingStep) {
+	g.credits.releaseBytes(ps.staged)
+	g.credits.releaseStep()
 }
 
 func (g *WriterGroup) asyncWorker() {
@@ -297,6 +341,7 @@ func (g *WriterGroup) asyncWorker() {
 			g.asyncErr = err
 			g.asyncErrMu.Unlock()
 		}
+		g.retireStepCredits(ps)
 		ps.err = nil
 		close(ps.done)
 	}
@@ -862,6 +907,7 @@ func (g *WriterGroup) Close() error {
 		g.selMu.Lock()
 		g.closed = true
 		g.selMu.Unlock()
+		g.credits.close()
 		g.sess.tryTransition(StateDraining)
 		if g.opts.Async {
 			close(g.asyncCh)
@@ -878,7 +924,7 @@ func (g *WriterGroup) Close() error {
 			coord.Close()
 		}
 		g.coordListener.Close()
-		g.dir.Unregister(g.Stream) //nolint:errcheck
+		g.dir.Unregister(g.key) //nolint:errcheck
 		g.sess.tryTransition(StateClosed)
 	})
 	return err

@@ -1,0 +1,46 @@
+//go:build !race
+
+package directory
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestDirectoryLookupBudget is the CI regression gate for the sharded
+// directory's lookup latency: a single-threaded Lookup over a 4096-entry
+// multi-tenant namespace must stay under the ns/op budget recorded in
+// BENCH_directory.json. The budget is generous (the measured cost is a
+// hash + one striped mutex + map probe); the gate catches an accidental
+// global lock or per-lookup allocation, not scheduler jitter. Excluded
+// under -race (instrumented builds time nothing meaningful).
+func TestDirectoryLookupBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark gate skipped in -short")
+	}
+	blob, err := os.ReadFile("../../BENCH_directory.json")
+	if err != nil {
+		t.Fatalf("BENCH_directory.json missing: %v", err)
+	}
+	var budget struct {
+		LookupBudgetNs float64 `json:"lookup_budget_ns"`
+	}
+	if err := json.Unmarshal(blob, &budget); err != nil {
+		t.Fatalf("BENCH_directory.json: %v", err)
+	}
+	if budget.LookupBudgetNs <= 0 {
+		t.Fatal("BENCH_directory.json has no lookup_budget_ns")
+	}
+
+	res := testing.Benchmark(BenchmarkDirectoryLookup)
+	t.Logf("sharded lookup %dns/op, %d allocs/op (budget %.0fns)",
+		res.NsPerOp(), res.AllocsPerOp(), budget.LookupBudgetNs)
+	if float64(res.NsPerOp()) > budget.LookupBudgetNs {
+		t.Fatalf("directory lookup %dns/op exceeds budget %.0fns/op (BENCH_directory.json)",
+			res.NsPerOp(), budget.LookupBudgetNs)
+	}
+	if allocs := res.AllocsPerOp(); allocs != 0 {
+		t.Fatalf("directory lookup allocates (%d allocs/op)", allocs)
+	}
+}

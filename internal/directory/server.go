@@ -11,19 +11,29 @@ import (
 
 // Wire protocol: one request per line, space-separated.
 //
-//	REG <stream> <contact> [ttl_ms]  -> OK | ERR <reason>
-//	RENEW <stream> <ttl_ms>          -> OK | ERR <reason>
-//	GET <stream>                     -> OK <contact> | ERR <reason>
-//	WAIT <stream> <millis>           -> OK <contact> | ERR <reason>
-//	DEL <stream>                     -> OK
+//	REG <key> <contact> [ttl_ms]  -> OK | ERR <reason>
+//	RENEW <key> <ttl_ms>          -> OK | ERR <reason>
+//	GET <key>                     -> OK <contact> | ERR <reason>
+//	WAIT <key> <millis>           -> OK <contact> | ERR <reason>
+//	DEL <key>                     -> OK
+//	CNT <tenant>                  -> OK <live-stream-count> | ERR <reason>
 //
-// REG on an already-bound stream atomically replaces the contact (OK),
+// <key> is a tenant-qualified stream name in the Qualify grammar —
+// "tenant/stream", or a bare stream name for the legacy single-tenant
+// namespace. The tenant id thus travels on the wire with every
+// REG/RENEW/GET/WAIT/DEL, and the server shards/leases/purges under the
+// same tenant/stream key space as Mem. CNT reports the number of live
+// (unexpired) streams under one tenant's namespace; it requires a
+// Mem-backed server.
+//
+// REG on an already-bound key atomically replaces the contact (OK),
 // matching Mem semantics — re-registration is how a reconfiguring session
 // publishes its new contact. A REG with ttl_ms takes a lease: the binding
 // is purged ttl_ms after the last REG/RENEW, so contacts of crashed
 // processes decay instead of lingering (requires a Leaser-backed
-// directory; plain Directories reject leased requests). Stream names and
-// contacts must not contain whitespace.
+// directory; plain Directories reject leased requests). Keys and
+// contacts must not contain whitespace; tenant ids additionally must not
+// contain '/'.
 
 // Server serves a Directory over TCP.
 type Server struct {
@@ -182,6 +192,18 @@ func (s *Server) dispatch(line string) string {
 			return "ERR " + err.Error()
 		}
 		return "OK"
+	case "CNT":
+		if len(fields) != 2 {
+			return "ERR CNT wants <tenant>"
+		}
+		if err := ValidateTenant(fields[1]); err != nil {
+			return "ERR " + err.Error()
+		}
+		tl, ok := s.dir.(interface{ TenantLen(string) int })
+		if !ok {
+			return "ERR directory does not support tenant counts"
+		}
+		return fmt.Sprintf("OK %d", tl.TenantLen(fields[1]))
 	}
 	return "ERR unknown verb " + fields[0]
 }
@@ -277,6 +299,21 @@ func (c *Client) RegisterTTL(stream, contact string, ttl time.Duration) error {
 func (c *Client) Renew(stream string, ttl time.Duration) error {
 	_, err := c.roundTrip(fmt.Sprintf("RENEW %s %d", stream, ttl.Milliseconds()))
 	return err
+}
+
+// TenantLen reports the number of live streams under a tenant's
+// namespace on the server (0 on any error, matching Mem's best-effort
+// introspection role).
+func (c *Client) TenantLen(tenant string) int {
+	resp, err := c.roundTrip("CNT " + tenant)
+	if err != nil {
+		return 0
+	}
+	var n int
+	if _, err := fmt.Sscanf(resp, "%d", &n); err != nil {
+		return 0
+	}
+	return n
 }
 
 var _ Directory = (*Mem)(nil)

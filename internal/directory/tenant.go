@@ -1,0 +1,101 @@
+package directory
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Tenant namespace grammar. A directory key is either a bare stream
+// name ("gts-field") — the single-tenant legacy form, tenant id "" —
+// or a tenant-qualified key "tenant/stream" ("climate-a/gts-field").
+// Everything a session registers (the stream's coordinator contact,
+// epoch-qualified data contacts, rank-host proxies, stats keys) hangs
+// under the owning tenant's prefix, so two tenants can both run a
+// stream named "gts-field" on one shared directory without colliding.
+//
+// Tenant ids must not contain '/', whitespace, or be empty-but-quoted;
+// stream names may contain further '/' (only the first separates the
+// tenant).
+
+// Qualify returns the directory key of stream under tenant's namespace.
+// An empty tenant returns the bare stream name (legacy single-tenant
+// form).
+func Qualify(tenant, stream string) string {
+	if tenant == "" {
+		return stream
+	}
+	return tenant + "/" + stream
+}
+
+// SplitTenant splits a qualified key into its tenant id and stream
+// name. Bare keys return tenant "".
+func SplitTenant(key string) (tenant, stream string) {
+	if i := strings.IndexByte(key, '/'); i >= 0 {
+		return key[:i], key[i+1:]
+	}
+	return "", key
+}
+
+// ValidateTenant rejects tenant ids that cannot travel in the namespace
+// grammar or the line-oriented wire protocol.
+func ValidateTenant(tenant string) error {
+	if tenant == "" {
+		return nil
+	}
+	if strings.ContainsAny(tenant, "/ \t\n\r") {
+		return fmt.Errorf("directory: tenant id %q contains '/' or whitespace", tenant)
+	}
+	return nil
+}
+
+// Scoped returns a Directory view that qualifies every stream name
+// under tenant before delegating to d. When d also implements Leaser,
+// the returned view does too, so leases stay available through the
+// scoped handle. Scoping with tenant "" returns d unchanged.
+func Scoped(d Directory, tenant string) Directory {
+	if tenant == "" {
+		return d
+	}
+	if lsr, ok := d.(Leaser); ok {
+		return &scopedLeaser{scoped{d: d, tenant: tenant}, lsr}
+	}
+	return &scoped{d: d, tenant: tenant}
+}
+
+type scoped struct {
+	d      Directory
+	tenant string
+}
+
+func (s *scoped) Register(stream, contact string) error {
+	return s.d.Register(Qualify(s.tenant, stream), contact)
+}
+
+func (s *scoped) Lookup(stream string) (string, error) {
+	return s.d.Lookup(Qualify(s.tenant, stream))
+}
+
+func (s *scoped) WaitLookup(stream string, timeout time.Duration) (string, error) {
+	return s.d.WaitLookup(Qualify(s.tenant, stream), timeout)
+}
+
+func (s *scoped) Unregister(stream string) error {
+	return s.d.Unregister(Qualify(s.tenant, stream))
+}
+
+type scopedLeaser struct {
+	scoped
+	lsr Leaser
+}
+
+func (s *scopedLeaser) RegisterTTL(stream, contact string, ttl time.Duration) error {
+	return s.lsr.RegisterTTL(Qualify(s.tenant, stream), contact, ttl)
+}
+
+func (s *scopedLeaser) Renew(stream string, ttl time.Duration) error {
+	return s.lsr.Renew(Qualify(s.tenant, stream), ttl)
+}
+
+var _ Directory = (*scoped)(nil)
+var _ Leaser = (*scopedLeaser)(nil)

@@ -1,0 +1,309 @@
+package directory
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestQualifySplitRoundTrip(t *testing.T) {
+	cases := []struct{ tenant, stream, key string }{
+		{"", "gts", "gts"},
+		{"climate-a", "gts", "climate-a/gts"},
+		{"t1", "gts/e2.r0", "t1/gts/e2.r0"}, // stream may contain further '/'
+	}
+	for _, c := range cases {
+		if got := Qualify(c.tenant, c.stream); got != c.key {
+			t.Errorf("Qualify(%q,%q) = %q, want %q", c.tenant, c.stream, got, c.key)
+		}
+		tn, st := SplitTenant(c.key)
+		if tn != c.tenant || st != c.stream {
+			t.Errorf("SplitTenant(%q) = %q,%q, want %q,%q", c.key, tn, st, c.tenant, c.stream)
+		}
+	}
+	if err := ValidateTenant("a/b"); err == nil {
+		t.Error("ValidateTenant accepted a tenant with '/'")
+	}
+	if err := ValidateTenant("a b"); err == nil {
+		t.Error("ValidateTenant accepted a tenant with whitespace")
+	}
+	if err := ValidateTenant(""); err != nil {
+		t.Errorf("ValidateTenant rejected the legacy empty tenant: %v", err)
+	}
+}
+
+// Two tenants register the same stream name; each resolves only its own
+// contact, and purging one tenant's namespace leaves the other intact.
+func TestTenantNamespaceIsolation(t *testing.T) {
+	d := NewMem()
+	defer d.Close()
+	a := Scoped(d, "tenant-a")
+	b := Scoped(d, "tenant-b")
+	if err := a.Register("gts", "contact-a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Register("gts", "contact-b"); err != nil {
+		t.Fatal(err)
+	}
+	if c, err := a.Lookup("gts"); err != nil || c != "contact-a" {
+		t.Fatalf("tenant-a lookup = %q, %v", c, err)
+	}
+	if c, err := b.Lookup("gts"); err != nil || c != "contact-b" {
+		t.Fatalf("tenant-b lookup = %q, %v", c, err)
+	}
+	if n := d.TenantLen("tenant-a"); n != 1 {
+		t.Fatalf("TenantLen(tenant-a) = %d, want 1", n)
+	}
+	if err := a.Unregister("gts"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Lookup("gts"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("tenant-a lookup after unregister: %v", err)
+	}
+	if c, err := b.Lookup("gts"); err != nil || c != "contact-b" {
+		t.Fatalf("tenant-b lookup after a's unregister = %q, %v", c, err)
+	}
+}
+
+// A scoped view of a Leaser directory must keep leases working.
+func TestScopedLeases(t *testing.T) {
+	d := NewMemOpts(MemOptions{Shards: 4, JanitorSlack: time.Millisecond})
+	defer d.Close()
+	s := Scoped(d, "t")
+	lsr, ok := s.(Leaser)
+	if !ok {
+		t.Fatal("Scoped(Mem) does not implement Leaser")
+	}
+	if err := lsr.RegisterTTL("gts", "c", 20*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := lsr.Renew("gts", 20*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := s.Lookup("gts"); errors.Is(err, ErrNotFound) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("scoped lease never expired")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Concurrent tenants hammering register/lookup/unregister across shards
+// must stay consistent (run under -race for the real assertion).
+func TestShardedConcurrentTenants(t *testing.T) {
+	d := NewMemOpts(MemOptions{Shards: 8})
+	defer d.Close()
+	const tenants, streams = 16, 8
+	var wg sync.WaitGroup
+	errCh := make(chan error, tenants)
+	for tn := 0; tn < tenants; tn++ {
+		tn := tn
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tenant := fmt.Sprintf("t%02d", tn)
+			sd := Scoped(d, tenant)
+			for i := 0; i < streams; i++ {
+				name := fmt.Sprintf("s%d", i)
+				want := tenant + ":" + name
+				if err := sd.Register(name, want); err != nil {
+					errCh <- err
+					return
+				}
+				got, err := sd.WaitLookup(name, time.Second)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if got != want {
+					errCh <- fmt.Errorf("tenant %s: lookup %s = %q, want %q", tenant, name, got, want)
+					return
+				}
+			}
+			for i := 0; i < streams/2; i++ {
+				if err := sd.Unregister(fmt.Sprintf("s%d", i)); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if n := d.Len(); n != tenants*streams/2 {
+		t.Fatalf("Len = %d, want %d", n, tenants*streams/2)
+	}
+	for tn := 0; tn < tenants; tn++ {
+		if n := d.TenantLen(fmt.Sprintf("t%02d", tn)); n != streams/2 {
+			t.Fatalf("TenantLen(t%02d) = %d, want %d", tn, n, streams/2)
+		}
+	}
+}
+
+// WaitLookup waiters are per-shard: a register on one shard wakes only
+// that shard's waiters, and cross-tenant registrations still resolve
+// correctly under concurrency.
+func TestWaitLookupAcrossShards(t *testing.T) {
+	d := NewMemOpts(MemOptions{Shards: 4})
+	defer d.Close()
+	const n = 12
+	done := make(chan error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			key := Qualify(fmt.Sprintf("t%d", i), "stream")
+			c, err := d.WaitLookup(key, 2*time.Second)
+			if err == nil && c != fmt.Sprintf("c%d", i) {
+				err = fmt.Errorf("got %q", c)
+			}
+			done <- err
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	for i := 0; i < n; i++ {
+		if err := d.Register(Qualify(fmt.Sprintf("t%d", i), "stream"), fmt.Sprintf("c%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Close must stop armed janitor timers and wake pending waiters; the
+// repeated setup/teardown of scenario tests must not accumulate timers.
+func TestCloseStopsJanitorAndWaiters(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		d := NewMemOpts(MemOptions{Shards: 4, JanitorSlack: time.Millisecond})
+		// Arm a janitor far in the future: without Close it would linger
+		// for an hour.
+		if err := d.RegisterTTL("t/lingering", "c", time.Hour); err != nil {
+			t.Fatal(err)
+		}
+		waiterErr := make(chan error, 1)
+		go func() {
+			_, err := d.WaitLookup("t/never", 30*time.Second)
+			waiterErr <- err
+		}()
+		time.Sleep(time.Millisecond)
+		d.Close()
+		select {
+		case err := <-waiterErr:
+			if !errors.Is(err, ErrClosed) {
+				t.Fatalf("waiter woke with %v, want ErrClosed", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("Close did not wake the pending WaitLookup")
+		}
+		for _, sh := range d.shards {
+			sh.mu.Lock()
+			if sh.janitor != nil {
+				sh.mu.Unlock()
+				t.Fatal("janitor timer survived Close")
+			}
+			sh.mu.Unlock()
+		}
+		// Registration after Close fails rather than re-arming timers.
+		if err := d.RegisterTTL("t/late", "c", time.Minute); !errors.Is(err, ErrClosed) {
+			t.Fatalf("RegisterTTL after Close: %v, want ErrClosed", err)
+		}
+	}
+}
+
+// The janitor slack is configurable: with a large slack, an expired
+// lease is not proactively purged at expiry (Lookup still refuses it —
+// expiry is enforced on read — but the janitor broadcast that wakes
+// waiters arrives only after expiry+slack).
+func TestJanitorSlackConfigurable(t *testing.T) {
+	d := NewMemOpts(MemOptions{Shards: 1, JanitorSlack: 300 * time.Millisecond})
+	defer d.Close()
+	if err := d.RegisterTTL("t/s", "c", 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	// Expired for readers immediately...
+	if _, err := d.Lookup("t/s"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Lookup of expired lease: %v, want ErrNotFound", err)
+	}
+	// ...but the entry is still physically present until expiry+slack.
+	sh := d.shard("t/s")
+	sh.mu.Lock()
+	_, present := sh.entries["t/s"]
+	sh.mu.Unlock()
+	if !present {
+		t.Fatal("entry purged before the configured janitor slack elapsed")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		sh.mu.Lock()
+		_, present = sh.entries["t/s"]
+		sh.mu.Unlock()
+		if !present {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("janitor never purged the expired lease")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Tenant-qualified keys travel through the TCP wire protocol, and CNT
+// reports per-tenant live stream counts.
+func TestServerTenantKeysAndCount(t *testing.T) {
+	mem := NewMemOpts(MemOptions{Shards: 4})
+	defer mem.Close()
+	srv, err := Serve("127.0.0.1:0", mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl := &Client{Addr: srv.Addr()}
+
+	if err := cl.Register(Qualify("ta", "gts"), "contact-a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.RegisterTTL(Qualify("tb", "gts"), "contact-b", time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Renew(Qualify("tb", "gts"), time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if c, err := cl.Lookup(Qualify("ta", "gts")); err != nil || c != "contact-a" {
+		t.Fatalf("wire lookup ta/gts = %q, %v", c, err)
+	}
+	if c, err := cl.WaitLookup(Qualify("tb", "gts"), time.Second); err != nil || c != "contact-b" {
+		t.Fatalf("wire wait tb/gts = %q, %v", c, err)
+	}
+	if n := cl.TenantLen("ta"); n != 1 {
+		t.Fatalf("wire CNT ta = %d, want 1", n)
+	}
+	if n := cl.TenantLen("tb"); n != 1 {
+		t.Fatalf("wire CNT tb = %d, want 1", n)
+	}
+	if n := cl.TenantLen("tc"); n != 0 {
+		t.Fatalf("wire CNT tc = %d, want 0", n)
+	}
+	if err := cl.Unregister(Qualify("ta", "gts")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Lookup(Qualify("ta", "gts")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("wire lookup after DEL: %v", err)
+	}
+	// A malformed CNT (tenant with '/') is rejected server-side.
+	if resp := srv.dispatch("CNT a/b"); !strings.HasPrefix(resp, "ERR") {
+		t.Fatalf("CNT a/b = %q, want ERR", resp)
+	}
+}

@@ -79,22 +79,30 @@ func (f *Figure) Fprint(w io.Writer) error {
 	return nil
 }
 
+// Driver is one registered experiment: a one-line description for
+// `flexbench -list` plus the function that regenerates its figure.
+type Driver struct {
+	Desc string
+	Run  func() (*Figure, error)
+}
+
 // Registry maps experiment ids to drivers.
-var Registry = map[string]func() (*Figure, error){
-	"fig4":      func() (*Figure, error) { return Fig4() },
-	"fig6a":     func() (*Figure, error) { return Fig6("Smoky") },
-	"fig6b":     func() (*Figure, error) { return Fig6("Titan") },
-	"fig7":      Fig7,
-	"fig8":      Fig8,
-	"fig9a":     func() (*Figure, error) { return Fig9("Smoky") },
-	"fig9b":     func() (*Figure, error) { return Fig9("Titan") },
-	"s3dtune":   S3DTuning,
-	"claims":    Claims,
-	"reconfig":  func() (*Figure, error) { return ReconfigBench("BENCH_reconfig.json") },
-	"trace":     func() (*Figure, error) { return TraceRun("trace.json", "metrics.json", metricsAddr) },
-	"critpath":  func() (*Figure, error) { return CritpathRun("journal.json", "critpath.json", "BENCH_flight.json") },
-	"replay":    func() (*Figure, error) { return ReplayRun(replayPerturb) },
-	"multiproc": Multiproc,
+var Registry = map[string]Driver{
+	"fig4":      {"RDMA vs TCP transport microbenchmark (paper Fig. 4)", func() (*Figure, error) { return Fig4() }},
+	"fig6a":     {"GTS coupled-run slowdown on Smoky (paper Fig. 6a)", func() (*Figure, error) { return Fig6("Smoky") }},
+	"fig6b":     {"GTS coupled-run slowdown on Titan (paper Fig. 6b)", func() (*Figure, error) { return Fig6("Titan") }},
+	"fig7":      {"GTS analytics placement sweep (paper Fig. 7)", Fig7},
+	"fig8":      {"S3D coupled-run slowdown (paper Fig. 8)", Fig8},
+	"fig9a":     {"S3D analytics placement sweep on Smoky (paper Fig. 9a)", func() (*Figure, error) { return Fig9("Smoky") }},
+	"fig9b":     {"S3D analytics placement sweep on Titan (paper Fig. 9b)", func() (*Figure, error) { return Fig9("Titan") }},
+	"s3dtune":   {"S3D helper-core thread tuning table", S3DTuning},
+	"claims":    {"headline paper claims checked against the model", Claims},
+	"reconfig":  {"mid-run reader regrouping drill with drain-time budgets", func() (*Figure, error) { return ReconfigBench("BENCH_reconfig.json") }},
+	"trace":     {"end-to-end traced run emitting trace/metrics JSON", func() (*Figure, error) { return TraceRun("trace.json", "metrics.json", metricsAddr) }},
+	"critpath":  {"flight-recorder critical-path analysis over a journaled run", func() (*Figure, error) { return CritpathRun("journal.json", "critpath.json", "BENCH_flight.json") }},
+	"replay":    {"deterministic replay divergence check", func() (*Figure, error) { return ReplayRun(replayPerturb) }},
+	"multiproc": {"multi-process deployment drill over TCP (directory server + flexnode daemons)", Multiproc},
+	"tenants":   {"multi-tenant soak: shared pool, per-tenant quotas/backpressure, mid-run grow+shrink", Tenants},
 }
 
 // IDs returns the registered experiment ids, sorted.
@@ -110,7 +118,7 @@ func IDs() []string {
 // RunAll executes every experiment and prints each figure.
 func RunAll(w io.Writer) error {
 	for _, id := range IDs() {
-		fig, err := Registry[id]()
+		fig, err := Registry[id].Run()
 		if err != nil {
 			return fmt.Errorf("experiment %s: %w", id, err)
 		}

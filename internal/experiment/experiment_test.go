@@ -183,7 +183,7 @@ func TestFprintRenders(t *testing.T) {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"claims", "critpath", "fig4", "fig6a", "fig6b", "fig7", "fig8", "fig9a", "fig9b", "multiproc", "reconfig", "replay", "s3dtune", "trace"}
+	want := []string{"claims", "critpath", "fig4", "fig6a", "fig6b", "fig7", "fig8", "fig9a", "fig9b", "multiproc", "reconfig", "replay", "s3dtune", "tenants", "trace"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("ids = %v", got)
@@ -191,6 +191,15 @@ func TestRegistryComplete(t *testing.T) {
 	for i := range want {
 		if got[i] != want[i] {
 			t.Fatalf("ids = %v, want %v", got, want)
+		}
+	}
+	// -list prints one line per id; every driver must carry one.
+	for id, d := range Registry {
+		if d.Desc == "" {
+			t.Errorf("experiment %q has no description", id)
+		}
+		if d.Run == nil {
+			t.Errorf("experiment %q has no driver", id)
 		}
 	}
 }

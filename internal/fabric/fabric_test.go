@@ -1,0 +1,238 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"flexio/internal/machine"
+)
+
+// checkOwnership asserts the single-ownership invariant: every core of
+// every grant's placement is owned by that grant's tenant, and no core
+// is claimed by two grants.
+func checkOwnership(t *testing.T, f *Fabric, grants []*Grant) {
+	t.Helper()
+	seen := make(map[int]string)
+	for _, g := range grants {
+		threads := g.Placement.Spec.SimThreads
+		if threads < 1 {
+			threads = 1
+		}
+		var cores []int
+		for _, c := range g.Placement.SimCore {
+			for k := 0; k < threads; k++ {
+				cores = append(cores, c+k)
+			}
+		}
+		cores = append(cores, g.Placement.AnaCore...)
+		for _, c := range cores {
+			if prev, dup := seen[c]; dup {
+				t.Fatalf("core %d double-allocated: %s and %s", c, prev, g.Tenant)
+			}
+			seen[c] = g.Tenant
+			if f.owner[c] != g.Tenant {
+				t.Fatalf("core %d owned by %q, grant says %q", c, f.owner[c], g.Tenant)
+			}
+		}
+	}
+}
+
+func TestAdmitHelperCorePreference(t *testing.T) {
+	f := New(machine.Titan(4)) // 4 nodes x 16 cores
+	g, err := f.Admit(Request{Tenant: "a", NSim: 4, NAna: 4, SimThreads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All sim processes fit node 0 (8 cores), so every analytics rank
+	// should land beside them — a helper-core placement.
+	m := f.pool
+	for r, c := range g.Placement.AnaCore {
+		if m.NodeOfCore(c) != m.NodeOfCore(g.Placement.SimCore[r%4]) {
+			t.Errorf("ana rank %d on node %d, sim partner on node %d (not helper-core)",
+				r, m.NodeOfCore(c), m.NodeOfCore(g.Placement.SimCore[r%4]))
+		}
+	}
+	if got := f.UsedCores("a"); got != 12 {
+		t.Fatalf("UsedCores = %d, want 12", got)
+	}
+	f.Release(g)
+	if got := f.FreeCores(); got != m.TotalCores() {
+		t.Fatalf("FreeCores after release = %d, want %d", got, m.TotalCores())
+	}
+}
+
+func TestQuotaRejectedCapacityQueued(t *testing.T) {
+	f := New(machine.Titan(1)) // 16 cores
+	f.SetQuota("small", Quota{MaxCores: 4})
+	if _, err := f.Admit(Request{Tenant: "small", NSim: 2, NAna: 4}); !errors.Is(err, ErrOverQuota) {
+		t.Fatalf("over-quota admit: %v, want ErrOverQuota", err)
+	}
+	// Fill the pool with another tenant.
+	big, err := f.Admit(Request{Tenant: "big", NSim: 4, NAna: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Admit(Request{Tenant: "small", NSim: 1, NAna: 1}); !errors.Is(err, ErrPoolFull) {
+		t.Fatalf("over-capacity admit: %v, want ErrPoolFull", err)
+	}
+	// A blocking admit queues until the big tenant releases.
+	admitted := make(chan *Grant, 1)
+	go func() {
+		g, err := f.Admit(Request{Tenant: "small", NSim: 1, NAna: 1, Block: true})
+		if err != nil {
+			t.Errorf("queued admit: %v", err)
+		}
+		admitted <- g
+	}()
+	select {
+	case <-admitted:
+		t.Fatal("queued admit succeeded while the pool was full")
+	case <-time.After(50 * time.Millisecond):
+	}
+	f.Release(big)
+	select {
+	case g := <-admitted:
+		if g != nil {
+			checkOwnership(t, f, []*Grant{g})
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued admit never woke after capacity freed")
+	}
+}
+
+func TestResizeGrowShrink(t *testing.T) {
+	f := New(machine.Titan(2))
+	g, err := f.Admit(Request{Tenant: "t", NSim: 2, NAna: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, err := f.Resize(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.AddedAna != 3 || len(delta.AnaNodes) != 5 {
+		t.Fatalf("grow delta: AddedAna=%d AnaNodes=%d", delta.AddedAna, len(delta.AnaNodes))
+	}
+	if g.NAna() != 5 || f.UsedCores("t") != 7 {
+		t.Fatalf("after grow: NAna=%d used=%d", g.NAna(), f.UsedCores("t"))
+	}
+	delta, err = f.Resize(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.RemovedAna != 4 || len(delta.AnaNodes) != 1 {
+		t.Fatalf("shrink delta: RemovedAna=%d AnaNodes=%d", delta.RemovedAna, len(delta.AnaNodes))
+	}
+	if f.UsedCores("t") != 3 {
+		t.Fatalf("after shrink: used=%d, want 3", f.UsedCores("t"))
+	}
+	checkOwnership(t, f, []*Grant{g})
+
+	f.SetQuota("t", Quota{MaxAna: 2})
+	if _, err := f.Resize(g, 8); !errors.Is(err, ErrOverQuota) {
+		t.Fatalf("over-quota resize: %v, want ErrOverQuota", err)
+	}
+}
+
+// Two tenants resize concurrently against the same pool snapshot — the
+// placement.Replace deltas must compose without double-allocating a
+// helper core, across many interleavings.
+func TestConcurrentResizeNoDoubleAllocation(t *testing.T) {
+	f := New(machine.Titan(4))
+	ga, err := f.Admit(Request{Tenant: "a", NSim: 2, NAna: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := f.Admit(Request{Tenant: "b", NSim: 2, NAna: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int{6, 2, 9, 1, 4, 8, 3, 5}
+	var wg sync.WaitGroup
+	for _, g := range []*Grant{ga, gb} {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, n := range sizes {
+				delta, err := f.Resize(g, n)
+				if err != nil {
+					t.Errorf("tenant %s resize to %d: %v", g.Tenant, n, err)
+					return
+				}
+				if len(delta.AnaNodes) != n {
+					t.Errorf("tenant %s: delta has %d nodes, want %d", g.Tenant, len(delta.AnaNodes), n)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	checkOwnership(t, f, []*Grant{ga, gb})
+	// Both ended at 5 analytics ranks + 2 sim cores each.
+	if f.UsedCores("a") != 7 || f.UsedCores("b") != 7 {
+		t.Fatalf("final usage a=%d b=%d, want 7/7", f.UsedCores("a"), f.UsedCores("b"))
+	}
+}
+
+// Many tenants admitted concurrently never overlap and fully release.
+func TestConcurrentAdmitRelease(t *testing.T) {
+	f := New(machine.Titan(8)) // 128 cores
+	const tenants = 16
+	grants := make([]*Grant, tenants)
+	var wg sync.WaitGroup
+	for i := 0; i < tenants; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g, err := f.Admit(Request{Tenant: fmt.Sprintf("t%02d", i), NSim: 2, NAna: 2, Block: true})
+			if err != nil {
+				t.Errorf("tenant %d: %v", i, err)
+				return
+			}
+			grants[i] = g
+		}()
+	}
+	wg.Wait()
+	live := grants[:0:0]
+	for _, g := range grants {
+		if g != nil {
+			live = append(live, g)
+		}
+	}
+	checkOwnership(t, f, live)
+	for _, g := range live {
+		f.Release(g)
+	}
+	if got := f.FreeCores(); got != f.pool.TotalCores() {
+		t.Fatalf("FreeCores = %d after all releases, want %d", got, f.pool.TotalCores())
+	}
+}
+
+func TestCloseWakesQueuedAdmits(t *testing.T) {
+	f := New(machine.Titan(1))
+	g, err := f.Admit(Request{Tenant: "a", NSim: 4, NAna: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := f.Admit(Request{Tenant: "b", NSim: 1, NAna: 0, Block: true})
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	f.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("queued admit after Close: %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not wake the queued admit")
+	}
+	f.Release(g)
+}

@@ -5,9 +5,11 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"flexio/internal/core"
 	"flexio/internal/directory"
 	"flexio/internal/evpath"
 )
@@ -177,5 +179,108 @@ func TestDistributedScenario(t *testing.T) {
 	}
 	if strings.Contains(stats, "redials=0,") {
 		t.Fatalf("stats = %q, want at least one redial", stats)
+	}
+}
+
+// TestDaemonHostsTwoTenants: a single daemon owns writer groups for two
+// tenants that share a stream name, hosts one writer rank of each for a
+// remote peer, and runs both tenants' readers — concurrently, over one
+// directory. The per-tenant digests must match the closed form, proving
+// the tenant namespace keeps the coupled streams fully isolated.
+func TestDaemonHostsTwoTenants(t *testing.T) {
+	dir := directory.NewMem()
+	host, err := Start(Config{Name: "host", Dir: dir, LeaseTTL: time.Second})
+	if err != nil {
+		t.Fatalf("Start host: %v", err)
+	}
+	defer host.Close() //nolint:errcheck
+	peer, err := Start(Config{Name: "peer", Dir: dir, LeaseTTL: time.Second})
+	if err != nil {
+		t.Fatalf("Start peer: %v", err)
+	}
+	defer peer.Close() //nolint:errcheck
+
+	scenarios := []Scenario{
+		{Stream: "dual", Tenant: "acme", M: 2, N: 1, Steps: 4, ReconfigAfter: -1},
+		{Stream: "dual", Tenant: "zephyr", M: 2, N: 1, Steps: 4, ReconfigAfter: -1},
+	}
+	errCh := make(chan error, 8)
+	hashes := make([]string, len(scenarios))
+	var wg sync.WaitGroup
+	for i := range scenarios {
+		sc := scenarios[i].withDefaults()
+		w, err := core.NewWriterGroup(host.Net, dir, sc.Stream, sc.M,
+			core.Options{Transport: tcpEverywhere, Tenant: sc.Tenant}, host.Mon)
+		if err != nil {
+			t.Fatalf("tenant %s writer group: %v", sc.Tenant, err)
+		}
+		hosted, err := host.HostWriterRank(w, sc.Key(), 1)
+		if err != nil {
+			t.Fatalf("tenant %s host rank: %v", sc.Tenant, err)
+		}
+		rg, err := core.NewReaderGroupOpts(host.Net, dir, sc.Stream, sc.N,
+			core.ReaderOptions{Tenant: sc.Tenant}, nil)
+		if err != nil {
+			t.Fatalf("tenant %s reader group: %v", sc.Tenant, err)
+		}
+
+		i := i
+		wg.Add(2)
+		go func() { // both writer ranks: one local, one via the peer daemon
+			defer wg.Done()
+			var writers sync.WaitGroup
+			writers.Add(2)
+			go func() {
+				defer writers.Done()
+				if err := sc.RunWriter(0, w.Writer(0), nil); err != nil {
+					errCh <- err
+				}
+			}()
+			go func() {
+				defer writers.Done()
+				rw, err := DialWriterRank(peer.Net, sc.Key(), 1)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				err = sc.RunWriter(1, rw, nil)
+				rw.Close() //nolint:errcheck
+				if err != nil {
+					errCh <- err
+				}
+			}()
+			writers.Wait()
+			<-hosted
+			if err := w.Close(); err != nil {
+				errCh <- err
+			}
+		}()
+		go func() { // the tenant's reader, local to the host daemon
+			defer wg.Done()
+			h, err := sc.RunReader(0, NewLocalReader(rg, 0, nil))
+			if err != nil {
+				errCh <- err
+				return
+			}
+			hashes[i] = h
+			rg.Close() //nolint:errcheck // EOS already consumed
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range scenarios {
+		want, err := scenarios[i].ExpectedHash(0)
+		if err != nil {
+			t.Fatalf("ExpectedHash: %v", err)
+		}
+		if hashes[i] != want {
+			t.Fatalf("tenant %s digest = %s, want %s (tenant isolation broken)",
+				scenarios[i].Tenant, hashes[i], want)
+		}
 	}
 }

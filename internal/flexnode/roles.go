@@ -81,7 +81,7 @@ func RunWriterLeader(cfg RoleConfig) error {
 	if cfg.Faults != (evpath.TCPFaults{}) {
 		d.Net.InjectTCPFaults(cfg.Faults)
 	}
-	opts := core.Options{Transport: tcpEverywhere}
+	opts := core.Options{Transport: tcpEverywhere, Tenant: sc.Tenant}
 	wg, err := core.NewWriterGroup(d.Net, cfg.Node.Dir, sc.Stream, sc.M, opts, d.Mon)
 	if err != nil {
 		return err
@@ -89,7 +89,7 @@ func RunWriterLeader(cfg RoleConfig) error {
 
 	var hosted []<-chan struct{}
 	for _, w := range others(sc.M, cfg.Ranks) {
-		ch, err := d.HostWriterRank(wg, sc.Stream, w)
+		ch, err := d.HostWriterRank(wg, sc.Key(), w)
 		if err != nil {
 			return err
 		}
@@ -118,7 +118,7 @@ func RunWriterLeader(cfg RoleConfig) error {
 	s := d.Net.TCPStatsSnapshot()
 	stats := fmt.Sprintf("dials=%d,redials=%d,resumes=%d,drops=%d,bytes_tx=%d,bytes_rx=%d",
 		s.Dials, s.Redials, s.Resumes, s.Drops, s.BytesTX, s.BytesRX)
-	if err := cfg.Node.Dir.Register(StatsKey(sc.Stream), stats); err != nil {
+	if err := cfg.Node.Dir.Register(StatsKey(sc.Key()), stats); err != nil {
 		return err
 	}
 	return d.Close()
@@ -134,7 +134,7 @@ func RunReaderLeader(cfg RoleConfig) error {
 		return err
 	}
 	defer d.Close() //nolint:errcheck
-	rg, err := core.NewReaderGroup(d.Net, cfg.Node.Dir, sc.Stream, sc.N, d.Mon)
+	rg, err := core.NewReaderGroupOpts(d.Net, cfg.Node.Dir, sc.Stream, sc.N, core.ReaderOptions{Tenant: sc.Tenant}, d.Mon)
 	if err != nil {
 		return err
 	}
@@ -157,7 +157,7 @@ func RunReaderLeader(cfg RoleConfig) error {
 	}
 	var hosted []<-chan struct{}
 	for _, r := range others(sc.N, cfg.Ranks) {
-		ch, err := d.HostReaderRank(rg, sc.Stream, r, ctl)
+		ch, err := d.HostReaderRank(rg, sc.Key(), r, ctl)
 		if err != nil {
 			return err
 		}
@@ -169,7 +169,7 @@ func RunReaderLeader(cfg RoleConfig) error {
 		go func() {
 			h, err := sc.RunReader(r, NewLocalReader(rg, r, ctl))
 			if err == nil {
-				err = cfg.Node.Dir.Register(HashKey(sc.Stream, r), h)
+				err = cfg.Node.Dir.Register(HashKey(sc.Key(), r), h)
 			}
 			errCh <- err
 		}()
@@ -182,7 +182,7 @@ func RunReaderLeader(cfg RoleConfig) error {
 	for _, ch := range hosted {
 		<-ch
 	}
-	if err := cfg.Node.Dir.Register(EpochKey(sc.Stream), fmt.Sprintf("%d", rg.SessionEpoch())); err != nil {
+	if err := cfg.Node.Dir.Register(EpochKey(sc.Key()), fmt.Sprintf("%d", rg.SessionEpoch())); err != nil {
 		return err
 	}
 	rg.Close() //nolint:errcheck // EOS already consumed by every rank
@@ -202,7 +202,7 @@ func RunWriterWorker(cfg RoleConfig) error {
 	for _, w := range cfg.Ranks {
 		w := w
 		go func() {
-			rw, err := DialWriterRank(d.Net, sc.Stream, w)
+			rw, err := DialWriterRank(d.Net, sc.Key(), w)
 			if err != nil {
 				errCh <- err
 				return
@@ -233,14 +233,14 @@ func RunReaderWorker(cfg RoleConfig) error {
 	for _, r := range cfg.Ranks {
 		r := r
 		go func() {
-			rr, err := DialReaderRank(d.Net, sc.Stream, r)
+			rr, err := DialReaderRank(d.Net, sc.Key(), r)
 			if err != nil {
 				errCh <- err
 				return
 			}
 			h, err := sc.RunReader(r, rr)
 			if err == nil {
-				err = cfg.Node.Dir.Register(HashKey(sc.Stream, r), h)
+				err = cfg.Node.Dir.Register(HashKey(sc.Key(), r), h)
 			}
 			rr.Close() //nolint:errcheck
 			errCh <- err

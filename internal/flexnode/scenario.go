@@ -25,6 +25,12 @@ import (
 // reordered anywhere in the pipeline changes the digest.
 type Scenario struct {
 	Stream string
+	// Tenant scopes the scenario under a tenant namespace: the stream
+	// bootstrap, rank-host contacts and published stats/hash/epoch keys
+	// all live under directory.Qualify(Tenant, Stream), so one daemon
+	// (and one directory) can host ranks for many tenants concurrently.
+	// "" runs in the legacy bare namespace.
+	Tenant string
 	// Shape is the global array shape; default {48, 64}.
 	Shape []int64
 	// M and N are the writer and reader rank counts.
@@ -38,6 +44,10 @@ type Scenario struct {
 }
 
 const scenarioVar = "field"
+
+// Key is the tenant-qualified stream name: the namespace under which
+// every directory entry derived from this scenario is published.
+func (sc *Scenario) Key() string { return directory.Qualify(sc.Tenant, sc.Stream) }
 
 func (sc *Scenario) withDefaults() Scenario {
 	out := *sc
@@ -244,13 +254,14 @@ func (sc *Scenario) RunLocal(kind evpath.TransportKind) ([]string, error) {
 	dir := directory.NewMem()
 	mon := monitor.New("local")
 	opts := core.Options{
+		Tenant:    s.Tenant,
 		Transport: func(w, r int) (evpath.TransportKind, int, int) { return kind, 0, 0 },
 	}
 	wg, err := core.NewWriterGroup(net, dir, s.Stream, s.M, opts, mon)
 	if err != nil {
 		return nil, err
 	}
-	rg, err := core.NewReaderGroup(net, dir, s.Stream, s.N, nil)
+	rg, err := core.NewReaderGroupOpts(net, dir, s.Stream, s.N, core.ReaderOptions{Tenant: s.Tenant}, nil)
 	if err != nil {
 		return nil, err
 	}
