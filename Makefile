@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: check ci fmt vet build test race bench soak reconfig trace critpath replay multiproc
+.PHONY: check ci fmt vet build test race bench soak reconfig trace critpath replay multiproc fleetobs
 
 ## check: everything a PR must pass — formatting, vet, build, race tests.
 check: fmt vet build race
 
 ## ci: the continuous-integration gate — vet, build, full race-detector
 ## run, plus the benchmark regression gates (budgets in
-## BENCH_monitor.json / BENCH_flight.json / BENCH_redist.json; all run
-## without -race so the measurements are honest).
+## BENCH_monitor.json / BENCH_flight.json / BENCH_redist.json /
+## BENCH_obsplane.json; all run without -race so the measurements are
+## honest).
 ci:
 	$(GO) vet ./...
 	$(GO) build ./...
@@ -18,8 +19,10 @@ ci:
 	$(GO) test -run TestRedistMappingBudget -count=1 .
 	$(GO) test -run TestTCPStatsNopBudget -count=1 ./internal/evpath/
 	$(GO) test -run TestDirectoryLookupBudget -count=1 ./internal/directory/
+	$(GO) test -run TestObsplaneMergeBudget -count=1 ./internal/obsplane/
 	$(MAKE) multiproc
 	$(MAKE) soak
+	$(MAKE) fleetobs
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -103,6 +106,20 @@ multiproc:
 soak:
 	timeout 150 $(GO) run -race ./cmd/flexbench -exp tenants \
 		|| { [ $$? -eq 127 ] && $(GO) run -race ./cmd/flexbench -exp tenants; }
+
+## fleetobs: the fleet observability drill under the race detector — a
+## directory server plus four flexnode daemons stream two tenants over
+## TCP while a collector discovers them through leased obs! entries,
+## scrapes their monitor endpoints, stitches cross-process step traces
+## (stitched counts must equal the writers' flight journals exactly,
+## zero span gaps), extracts a critical path that crosses the process
+## boundary over send.tcp, and latches an SLO breach on the slow tenant
+## that drives a fabric resize. The outer timeout is a guard for
+## `make ci` (falls back to running bare where coreutils' timeout is
+## absent).
+fleetobs:
+	timeout 150 $(GO) run -race ./cmd/flexbench -exp fleetobs \
+		|| { [ $$? -eq 127 ] && $(GO) run -race ./cmd/flexbench -exp fleetobs; }
 
 ## replay: determinism check — re-runs the journaled scenario from the
 ## same configuration and diffs the event streams; exits non-zero on any

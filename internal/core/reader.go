@@ -391,7 +391,7 @@ func (g *ReaderGroup) acceptData(r int, ev *evpath.Event, release func()) {
 	plugins := g.plugins
 	g.mu.Unlock()
 	if len(plugins) > 0 {
-		sp := g.mon.StartSpan("dc.plugin", preStep, r).SetEpoch(g.sess.Epoch())
+		sp := g.mon.StartSpan("dc.plugin", preStep, r).SetEpoch(g.sess.Epoch()).SetScope(g.key)
 		defer sp.End()
 	}
 	for _, p := range plugins {
@@ -445,8 +445,12 @@ func (g *ReaderGroup) acceptData(r int, ev *evpath.Event, release func()) {
 		g.mon.AddVolume("data.bytes.recv", int64(len(ev.Data)))
 	}
 	if j := g.journal; j != nil {
+		// The channel mirrors the writer-side send event's "w<M>>r<N>"
+		// string: after a cross-process journal merge this pairing is the
+		// only surviving recv↔send join key (event IDs get remapped).
 		j.Record(flight.Event{
 			Kind: flight.KindRecv, Point: "reader.accept",
+			Channel: fmt.Sprintf("w%d>r%d", w, r), Scope: g.key,
 			Rank: r, Step: step, Epoch: g.sess.Epoch(),
 			T: j.Now(), Bytes: int64(len(ev.Data)),
 		})
@@ -627,10 +631,10 @@ func (r *Reader) ReadArray(name string) ([]byte, ndarray.Box, error) {
 		return nil, ndarray.Box{}, fmt.Errorf("core: reader %d did not select %q", r.Rank, name)
 	}
 	box := sel[r.Rank]
-	sp := g.mon.StartSpan("reader.assemble", r.curStep, r.Rank).SetEpoch(g.sess.Epoch())
+	sp := g.mon.StartSpan("reader.assemble", r.curStep, r.Rank).SetEpoch(g.sess.Epoch()).SetScope(g.key)
 	defer sp.End()
 	asmEv := g.journal.Begin(flight.Event{
-		Kind: flight.KindCompute, Point: "reader.assemble",
+		Kind: flight.KindCompute, Point: "reader.assemble", Scope: g.key,
 		Rank: r.Rank, Step: r.curStep, Epoch: g.sess.Epoch(),
 	})
 	defer g.journal.End(asmEv)

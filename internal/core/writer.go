@@ -385,10 +385,10 @@ func (g *WriterGroup) flush(ps *pendingStep) error {
 		stopTimer = g.mon.Start("flush")
 		defer stopTimer()
 	}
-	flushSpan := g.mon.StartSpan("writer.flush", ps.step, 0).SetEpoch(g.sess.Epoch())
+	flushSpan := g.mon.StartSpan("writer.flush", ps.step, 0).SetEpoch(g.sess.Epoch()).SetScope(g.key)
 	defer flushSpan.End()
 	flushEv := g.journal.Begin(flight.Event{
-		Kind: flight.KindCompute, Point: "writer.flush",
+		Kind: flight.KindCompute, Point: "writer.flush", Scope: g.key,
 		Step: ps.step, Epoch: g.sess.Epoch(),
 	})
 	defer g.journal.End(flushEv)
@@ -500,9 +500,9 @@ func (g *WriterGroup) flush(ps *pendingStep) error {
 func (g *WriterGroup) sendPerVariable(ps *pendingStep, sel readerSelections, tr stepTrace) error {
 	return parallelFor(g.NWriters, g.opts.PackWorkers, func(w int) error {
 		for _, v := range ps.vars[w] {
-			packSpan := g.mon.StartSpan("writer.pack", ps.step, w).SetEpoch(tr.epoch).SetParent(tr.parent)
+			packSpan := g.mon.StartSpan("writer.pack", ps.step, w).SetEpoch(tr.epoch).SetParent(tr.parent).SetScope(g.key)
 			packEv := g.journal.Begin(flight.Event{
-				Kind: flight.KindCompute, Point: "writer.pack",
+				Kind: flight.KindCompute, Point: "writer.pack", Scope: g.key,
 				Rank: w, Step: ps.step, Epoch: tr.epoch, Parent: tr.jparent,
 			})
 			pieces, err := g.piecesFor(ps.step, w, v, sel)
@@ -580,7 +580,7 @@ func (g *WriterGroup) applyWriterPlugins(ev *evpath.Event, step int64, w int, tr
 	if g.plugins.empty() {
 		return ev, nil
 	}
-	sp := g.mon.StartSpan("dc.plugin", step, w).SetEpoch(tr.epoch).SetParent(tr.parent)
+	sp := g.mon.StartSpan("dc.plugin", step, w).SetEpoch(tr.epoch).SetParent(tr.parent).SetScope(g.key)
 	out, err := g.plugins.apply(ev)
 	sp.End()
 	if err != nil {
@@ -611,9 +611,9 @@ func (g *WriterGroup) sendBatched(ps *pendingStep, sel readerSelections, tr step
 		}()
 		perReader := make(map[int][]*evpath.Event)
 		for _, v := range ps.vars[w] {
-			packSpan := g.mon.StartSpan("writer.pack", ps.step, w).SetEpoch(tr.epoch).SetParent(tr.parent)
+			packSpan := g.mon.StartSpan("writer.pack", ps.step, w).SetEpoch(tr.epoch).SetParent(tr.parent).SetScope(g.key)
 			packEv := g.journal.Begin(flight.Event{
-				Kind: flight.KindCompute, Point: "writer.pack",
+				Kind: flight.KindCompute, Point: "writer.pack", Scope: g.key,
 				Rank: w, Step: ps.step, Epoch: tr.epoch, Parent: tr.jparent,
 			})
 			pieces, err := g.piecesFor(ps.step, w, v, sel)
@@ -802,7 +802,7 @@ func (g *WriterGroup) sendPiece(w, r int, ev *evpath.Event, step int64, tr stepT
 	}
 	var sendSpan monitor.ActiveSpan
 	if g.mon != nil { // guard: span name concat must not run on the nil path
-		sendSpan = g.mon.StartSpan("send."+conn.Transport(), step, w).SetEpoch(tr.epoch).SetParent(tr.parent)
+		sendSpan = g.mon.StartSpan("send."+conn.Transport(), step, w).SetEpoch(tr.epoch).SetParent(tr.parent).SetScope(g.key)
 	}
 	var sendEv flight.EventID
 	if g.journal != nil { // same guard for the channel-name formatting
@@ -814,8 +814,8 @@ func (g *WriterGroup) sendPiece(w, r int, ev *evpath.Event, step int64, tr stepT
 		}
 		sendEv = g.journal.Begin(flight.Event{
 			Kind: flight.KindSend, Point: "send." + conn.Transport(),
-			Channel: fmt.Sprintf("w%d>r%d", w, r),
-			Rank:    w, Step: step, Epoch: tr.epoch, Parent: tr.jparent,
+			Channel: fmt.Sprintf("w%d>r%d", w, r), Scope: g.key,
+			Rank: w, Step: step, Epoch: tr.epoch, Parent: tr.jparent,
 			Bytes: wire,
 		})
 	}

@@ -55,6 +55,17 @@ type Leaser interface {
 	Renew(stream string, ttl time.Duration) error
 }
 
+// Lister is the optional enumeration extension of a Directory: list
+// every live binding under a key prefix. The fleet observability
+// collector discovers scrape targets through it — daemons lease their
+// metrics endpoints under a dedicated namespace prefix, so the listing
+// is always the currently-live fleet. Mem and Client implement it.
+type Lister interface {
+	// List returns the live bindings whose keys start with prefix
+	// (key -> contact); "" lists everything.
+	List(prefix string) (map[string]string, error)
+}
+
 // Directory is the discovery API.
 type Directory interface {
 	// Register binds a stream name to contact information. Registering a
@@ -311,6 +322,29 @@ func (d *Mem) Len() int {
 		sh.mu.Unlock()
 	}
 	return total
+}
+
+// List returns every live binding whose key starts with prefix (all
+// bindings when prefix is ""). The fleet observability collector uses
+// this to discover scrape targets: daemons register their metrics
+// address under the "obs!" namespace with a lease, so listing that
+// prefix yields exactly the live fleet. The snapshot is per-shard
+// consistent, not globally atomic — fine for discovery, where a
+// concurrently-registering daemon is simply picked up next sweep.
+func (d *Mem) List(prefix string) (map[string]string, error) {
+	now := time.Now()
+	out := make(map[string]string)
+	for _, sh := range d.shards {
+		sh.mu.Lock()
+		sh.purgeLocked(now)
+		for key, e := range sh.entries {
+			if len(key) >= len(prefix) && key[:len(prefix)] == prefix {
+				out[key] = e.contact
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return out, nil
 }
 
 // TenantLen reports the number of live streams registered under one

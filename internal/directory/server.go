@@ -17,6 +17,7 @@ import (
 //	WAIT <key> <millis>           -> OK <contact> | ERR <reason>
 //	DEL <key>                     -> OK
 //	CNT <tenant>                  -> OK <live-stream-count> | ERR <reason>
+//	LST <prefix>                  -> OK [<key> <contact>]... | ERR <reason>
 //
 // <key> is a tenant-qualified stream name in the Qualify grammar —
 // "tenant/stream", or a bare stream name for the legacy single-tenant
@@ -24,7 +25,9 @@ import (
 // REG/RENEW/GET/WAIT/DEL, and the server shards/leases/purges under the
 // same tenant/stream key space as Mem. CNT reports the number of live
 // (unexpired) streams under one tenant's namespace; it requires a
-// Mem-backed server.
+// Mem-backed server. LST enumerates live bindings under a key prefix
+// (requires a Lister-backed directory); because keys and contacts are
+// whitespace-free, the response is a flat space-separated pair list.
 //
 // REG on an already-bound key atomically replaces the contact (OK),
 // matching Mem semantics — re-registration is how a reconfiguring session
@@ -204,6 +207,31 @@ func (s *Server) dispatch(line string) string {
 			return "ERR directory does not support tenant counts"
 		}
 		return fmt.Sprintf("OK %d", tl.TenantLen(fields[1]))
+	case "LST":
+		if len(fields) > 2 {
+			return "ERR LST wants [<prefix>]"
+		}
+		prefix := ""
+		if len(fields) == 2 {
+			prefix = fields[1]
+		}
+		lister, ok := s.dir.(Lister)
+		if !ok {
+			return "ERR directory does not support listing"
+		}
+		bindings, err := lister.List(prefix)
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		var b strings.Builder
+		b.WriteString("OK")
+		for k, v := range bindings {
+			b.WriteByte(' ')
+			b.WriteString(k)
+			b.WriteByte(' ')
+			b.WriteString(v)
+		}
+		return b.String()
 	}
 	return "ERR unknown verb " + fields[0]
 }
@@ -316,7 +344,32 @@ func (c *Client) TenantLen(tenant string) int {
 	return n
 }
 
+// List implements Lister over the wire: the server returns the live
+// bindings as a flat "key contact" pair list (keys and contacts are
+// whitespace-free by protocol rule, so the split is unambiguous).
+func (c *Client) List(prefix string) (map[string]string, error) {
+	req := "LST"
+	if prefix != "" {
+		req += " " + prefix
+	}
+	resp, err := c.roundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(resp)
+	if len(fields)%2 != 0 {
+		return nil, fmt.Errorf("directory: malformed LST response %q", resp)
+	}
+	out := make(map[string]string, len(fields)/2)
+	for i := 0; i < len(fields); i += 2 {
+		out[fields[i]] = fields[i+1]
+	}
+	return out, nil
+}
+
 var _ Directory = (*Mem)(nil)
 var _ Directory = (*Client)(nil)
 var _ Leaser = (*Mem)(nil)
 var _ Leaser = (*Client)(nil)
+var _ Lister = (*Mem)(nil)
+var _ Lister = (*Client)(nil)

@@ -103,6 +103,7 @@ var Registry = map[string]Driver{
 	"replay":    {"deterministic replay divergence check", func() (*Figure, error) { return ReplayRun(replayPerturb) }},
 	"multiproc": {"multi-process deployment drill over TCP (directory server + flexnode daemons)", Multiproc},
 	"tenants":   {"multi-tenant soak: shared pool, per-tenant quotas/backpressure, mid-run grow+shrink", Tenants},
+	"fleetobs":  {"fleet observability drill: collector scrapes 4 daemons, stitches cross-process traces, SLO breach drives a resize", Fleetobs},
 }
 
 // IDs returns the registered experiment ids, sorted.

@@ -16,6 +16,7 @@
 //	cert!<addr>      wire address -> base64(DER) of its pinned TLS certificate
 //	node!<name>      flexnode liveness lease -> its wire address
 //	hash!<s>.r<N>    reader rank N's output digest for stream <s>
+//	obs!<name>       flexnode observability endpoint -> "http://h:p"
 package flexnode
 
 import (
@@ -40,7 +41,17 @@ const (
 	nsCert    = "cert!"
 	nsNode    = "node!"
 	nsHash    = "hash!"
+	nsObs     = "obs!"
 )
+
+// ObsNamespace is the directory prefix under which daemons lease their
+// observability (monitor HTTP) endpoints; the fleet collector lists it
+// to discover scrape targets.
+const ObsNamespace = nsObs
+
+// ObsKey names the directory entry holding a flexnode's observability
+// endpoint lease.
+func ObsKey(name string) string { return nsObs + name }
 
 // HashKey names the directory entry holding reader rank r's output
 // digest for stream.

@@ -9,6 +9,7 @@ import (
 
 	"flexio/internal/directory"
 	"flexio/internal/evpath"
+	"flexio/internal/flight"
 	"flexio/internal/monitor"
 )
 
@@ -73,6 +74,11 @@ type Config struct {
 type Daemon struct {
 	Net *evpath.Net
 	Mon *monitor.Monitor
+	// Jrn is the daemon's flight recorder. Roles hosted on the daemon
+	// attach it to their groups; the monitor server exposes it at
+	// /journal and /critpath, which is how the fleet collector stitches
+	// this process's events into cross-process critical paths.
+	Jrn *flight.Journal
 
 	cfg      Config
 	contacts *Contacts
@@ -105,9 +111,12 @@ func Start(cfg Config) (*Daemon, error) {
 	d := &Daemon{
 		Net:           evpath.NewNet(nil),
 		Mon:           monitor.New(cfg.Name),
+		Jrn:           flight.NewJournal(0),
 		cfg:           cfg,
 		stopHeartbeat: make(chan struct{}),
 	}
+	d.Mon.SetIdentity(cfg.Name, "")
+	d.Jrn.SetIdentity(cfg.Name, "")
 	if err := d.transition(StateInit, StateRegistering); err != nil {
 		return nil, err
 	}
@@ -148,12 +157,20 @@ func Start(cfg Config) (*Daemon, error) {
 			d.Net.ReportTCP(d.Mon, "tcp.")
 			return d.Mon.Snapshot()
 		})
+		d.msrv.SetFlightSource(func() *flight.Journal { return d.Jrn })
 		addr, err := d.msrv.Start(cfg.MetricsAddr)
 		if err != nil {
 			d.Net.CloseTCP()
 			return nil, err
 		}
 		d.maddr = addr
+		// Lease the scrape endpoint under obs! so the fleet collector's
+		// directory listing always names exactly the live daemons.
+		if err := registerMaybeTTL(cfg.Dir, ObsKey(cfg.Name), "http://"+addr, cfg.LeaseTTL); err != nil {
+			d.msrv.Close() //nolint:errcheck
+			d.Net.CloseTCP()
+			return nil, err
+		}
 	}
 	if err := d.transition(StateRegistering, StateServing); err != nil {
 		d.Net.CloseTCP()
@@ -200,6 +217,9 @@ func (d *Daemon) heartbeat() {
 			if d.identity != nil {
 				lsr.Renew(nsCert+d.adv, ttl) //nolint:errcheck
 			}
+			if d.maddr != "" {
+				lsr.Renew(ObsKey(d.cfg.Name), ttl) //nolint:errcheck
+			}
 			d.contacts.RenewAll() //nolint:errcheck
 			d.Mon.Incr("node.heartbeats", 1)
 		}
@@ -239,6 +259,9 @@ func (d *Daemon) Close() error {
 	d.cfg.Dir.Unregister(NodeKey(d.cfg.Name)) //nolint:errcheck
 	if d.identity != nil {
 		d.cfg.Dir.Unregister(nsCert + d.adv) //nolint:errcheck
+	}
+	if d.maddr != "" {
+		d.cfg.Dir.Unregister(ObsKey(d.cfg.Name)) //nolint:errcheck
 	}
 	if d.msrv != nil {
 		d.msrv.Close() //nolint:errcheck

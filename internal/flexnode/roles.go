@@ -86,6 +86,7 @@ func RunWriterLeader(cfg RoleConfig) error {
 	if err != nil {
 		return err
 	}
+	wg.SetJournal(d.Jrn)
 
 	var hosted []<-chan struct{}
 	for _, w := range others(sc.M, cfg.Ranks) {
@@ -138,6 +139,7 @@ func RunReaderLeader(cfg RoleConfig) error {
 	if err != nil {
 		return err
 	}
+	rg.SetJournal(d.Jrn)
 	if cfg.Plugin != "" {
 		name := cfg.PluginName
 		if name == "" {

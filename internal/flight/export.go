@@ -13,8 +13,14 @@ import (
 // critical-path analysis as JSON (/critpath, critpath.json) or a
 // human-readable report (make critpath).
 
-// JournalDump is the JSON shape of an exported journal.
+// JournalDump is the JSON shape of an exported journal. The header
+// carries the recording process's identity (Journal.SetIdentity), so a
+// fleet collector merging dumps from many daemons can attribute every
+// event stream to the process that produced it.
 type JournalDump struct {
+	Daemon  string  `json:"daemon,omitempty"`
+	PID     int     `json:"pid,omitempty"`
+	Node    string  `json:"node,omitempty"`
 	Seen    int64   `json:"seen"`
 	Dropped int64   `json:"dropped"`
 	Hash    string  `json:"hash"` // hex fingerprint of the buffered stream
@@ -24,7 +30,11 @@ type JournalDump struct {
 // Dump snapshots a journal into its export shape. Nil journals dump as
 // an empty stream.
 func Dump(j *Journal) JournalDump {
+	daemon, node, pid := j.Identity()
 	return JournalDump{
+		Daemon:  daemon,
+		PID:     pid,
+		Node:    node,
 		Seen:    j.Seen(),
 		Dropped: j.Dropped(),
 		Hash:    fmt.Sprintf("%016x", j.Hash()),

@@ -31,6 +31,7 @@ package flight
 
 import (
 	"math"
+	"os"
 	"sync"
 	"time"
 )
@@ -98,14 +99,22 @@ type Event struct {
 	// where both exist ("writer.pack", "send.rdma", "sim.compute", ...).
 	Point string `json:"point"`
 	// Channel names the resource the event crossed (a transport pair,
-	// a fluid-flow resource set, a queue) for send/recv matching.
-	Channel string  `json:"channel,omitempty"`
-	T       float64 `json:"t"`             // seconds on the recorder's clock
-	Dur     float64 `json:"dur,omitempty"` // stage duration (0 = instant)
-	Rank    int     `json:"rank"`
-	Step    int64   `json:"step"`
-	Epoch   uint64  `json:"epoch,omitempty"`
-	Bytes   int64   `json:"bytes,omitempty"`
+	// a fluid-flow resource set, a queue) for send/recv matching. The
+	// data plane uses "w<M>>r<N>" on both the send and recv side of a
+	// writer→reader transfer, so the pairing survives a cross-process
+	// journal merge where event IDs are remapped.
+	Channel string `json:"channel,omitempty"`
+	// Scope is the tenant-qualified stream key the event belongs to
+	// (directory.Qualify grammar). It partitions merged multi-tenant
+	// journals before critical-path analysis — two tenants' step 3 must
+	// never share a happens-before graph. Not part of the replay hash.
+	Scope string  `json:"scope,omitempty"`
+	T     float64 `json:"t"`             // seconds on the recorder's clock
+	Dur   float64 `json:"dur,omitempty"` // stage duration (0 = instant)
+	Rank  int     `json:"rank"`
+	Step  int64   `json:"step"`
+	Epoch uint64  `json:"epoch,omitempty"`
+	Bytes int64   `json:"bytes,omitempty"`
 }
 
 // finish is the event's completion time.
@@ -137,6 +146,9 @@ const DefaultCapacity = 1 << 16
 type Journal struct {
 	mu     sync.Mutex
 	clock  Clock
+	daemon string  // SetIdentity: owning daemon id
+	node   string  // SetIdentity: host/node name
+	pid    int     // SetIdentity: recording process id
 	events []Event // ring, oldest at next once saturated
 	cap    int
 	next   int
@@ -163,6 +175,38 @@ func (j *Journal) SetClock(c Clock) {
 	j.mu.Lock()
 	j.clock = c
 	j.mu.Unlock()
+}
+
+// SetIdentity stamps the journal with the recording process's identity
+// (daemon id and node name; the pid is taken from the process). The
+// identity travels on every Dump header, so merged cross-process
+// journals stay attributable. Nil-safe; an empty node falls back to the
+// host name.
+func (j *Journal) SetIdentity(daemon, node string) {
+	if j == nil {
+		return
+	}
+	if node == "" {
+		node, _ = os.Hostname() //nolint:errcheck // "" is an acceptable fallback
+	}
+	j.mu.Lock()
+	j.daemon = daemon
+	if node != "" {
+		j.node = node
+	}
+	j.pid = os.Getpid()
+	j.mu.Unlock()
+}
+
+// Identity reads back the stamped identity (zero values on a nil or
+// unstamped journal).
+func (j *Journal) Identity() (daemon, node string, pid int) {
+	if j == nil {
+		return "", "", 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.daemon, j.node, j.pid
 }
 
 // Now reads the journal's clock (wall clock when unset). Returns 0 on a

@@ -1,0 +1,91 @@
+package flight
+
+// Cross-process journal stitching. Each daemon's journal names events
+// with its own sequential IDs and rank numbers, so merging dumps from
+// several processes needs two remappings before Analyze can extract a
+// critical path that crosses process boundaries:
+//
+//   - event IDs (and the Parent links that reference them) are offset
+//     per dump so they stay unique and intra-process causality survives;
+//   - ranks are spread into per-process lanes (proc index × RankStride +
+//     rank), so the analyzer's last-event-on-rank fallback never infers
+//     a spurious program-order edge between two different processes'
+//     rank 0.
+//
+// What deliberately survives untouched is the Channel string: the data
+// plane stamps "w<M>>r<N>" on both the writer-side send event and the
+// reader-side recv event, so after the merge the analyzer's
+// recv-matches-last-send-on-channel inference joins the two processes'
+// streams at exactly the transport seam — which is how a step's
+// critical path comes to contain a tcp edge whose endpoints live in
+// different processes.
+
+// RankStride is the lane width of the per-process rank remapping; real
+// groups have far fewer ranks per process.
+const RankStride = 1 << 16
+
+// LaneOf reports which merged dump (by position) a stitched event's
+// rank belongs to.
+func LaneOf(rank int) int { return rank / RankStride }
+
+// MergeDumps merges per-process journal dumps into one event stream
+// suitable for Analyze: IDs and parent links are offset per dump, ranks
+// move into per-process lanes, and channels/scopes/timestamps pass
+// through unchanged (timestamps are assumed comparable — same process,
+// or clock-synchronized nodes; skew surfaces as wait edges). The input
+// dumps are not modified. Order of dumps decides lane numbering.
+func MergeDumps(dumps ...JournalDump) []Event {
+	total := 0
+	for i := range dumps {
+		total += len(dumps[i].Events)
+	}
+	out := make([]Event, 0, total)
+	var base EventID
+	for di := range dumps {
+		var maxID EventID
+		for _, ev := range dumps[di].Events {
+			if ev.ID > maxID {
+				maxID = ev.ID
+			}
+			ev.ID += base
+			if ev.Parent != 0 {
+				ev.Parent += base
+			}
+			ev.Rank += di * RankStride
+			out = append(out, ev)
+		}
+		base += maxID
+	}
+	return out
+}
+
+// SplitScopes partitions a merged event stream by Scope, dropping
+// un-scoped events (they belong to no stream and would cross-link
+// unrelated tenants' steps). Analyze each partition separately: step
+// numbers are only meaningful within one tenant-qualified stream.
+func SplitScopes(evs []Event) map[string][]Event {
+	out := make(map[string][]Event)
+	for _, ev := range evs {
+		if ev.Scope == "" {
+			continue
+		}
+		out[ev.Scope] = append(out[ev.Scope], ev)
+	}
+	return out
+}
+
+// CrossesProcess reports whether a step path contains edges from at
+// least two different merged-dump lanes — i.e. its critical path spans
+// a process boundary.
+func CrossesProcess(sp *StepPath) bool {
+	if sp == nil || len(sp.Edges) == 0 {
+		return false
+	}
+	first := LaneOf(sp.Edges[0].Rank)
+	for _, e := range sp.Edges[1:] {
+		if LaneOf(e.Rank) != first {
+			return true
+		}
+	}
+	return false
+}

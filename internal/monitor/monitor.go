@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
 	"sort"
 	"sync"
 	"time"
@@ -192,6 +193,9 @@ type Monitor struct {
 
 	mu      sync.Mutex
 	clock   Clock
+	daemon  string // SetIdentity: owning daemon id
+	node    string // SetIdentity: host/node name
+	pid     int    // SetIdentity: recording process id
 	timings map[string]*TimingStat
 	volumes map[string]int64
 	counts  map[string]int64
@@ -244,6 +248,27 @@ func (m *Monitor) SetSpanCapacity(n int) {
 	m.spans = nil
 	m.spanNext = 0
 	m.spanSeen = 0
+	m.mu.Unlock()
+}
+
+// SetIdentity stamps the monitor with the recording process's identity:
+// the daemon id and node (host) name travel on every Report, together
+// with the process pid, so merged fleet artifacts stay attributable to
+// the process that produced each sample. An empty node keeps the
+// previously set (or os.Hostname-derived) value.
+func (m *Monitor) SetIdentity(daemon, node string) {
+	if m == nil {
+		return
+	}
+	if node == "" {
+		node, _ = os.Hostname() //nolint:errcheck // "" is an acceptable fallback
+	}
+	m.mu.Lock()
+	m.daemon = daemon
+	if node != "" {
+		m.node = node
+	}
+	m.pid = os.Getpid()
 	m.mu.Unlock()
 }
 
@@ -371,7 +396,14 @@ func (m *Monitor) RecordFree(bytes int64) {
 
 // Report is an immutable snapshot of a monitor.
 type Report struct {
-	Name    string                `json:"name"`
+	Name string `json:"name"`
+	// Daemon, PID and Node identify the recording process (SetIdentity);
+	// they make merged fleet artifacts attributable. On a Merge output
+	// the per-process identities move into Origins instead.
+	Daemon  string                `json:"daemon,omitempty"`
+	PID     int                   `json:"pid,omitempty"`
+	Node    string                `json:"node,omitempty"`
+	Origins []string              `json:"origins,omitempty"`
 	Timings map[string]TimingStat `json:"timings,omitempty"`
 	Volumes map[string]int64      `json:"volumes,omitempty"`
 	Counts  map[string]int64      `json:"counts,omitempty"`
@@ -382,6 +414,14 @@ type Report struct {
 	// SpansDropped counts spans already overwritten by the bound.
 	Spans        []Span `json:"spans,omitempty"`
 	SpansDropped int64  `json:"spans_dropped,omitempty"`
+	// SpanCursor is the total number of spans ever recorded by this
+	// monitor — a monotonic position, so a scraper holding the cursor of
+	// its previous sweep can tell exactly which of Spans are new
+	// (Spans covers positions [SpanCursor-len(Spans), SpanCursor)) and
+	// whether the ring evicted spans it never saw (a gap, when the
+	// previous cursor is below the window start) instead of silently
+	// double-counting or missing spans between sweeps.
+	SpanCursor int64 `json:"span_cursor,omitempty"`
 }
 
 // Snapshot captures the current state. A nil monitor snapshots empty.
@@ -393,6 +433,9 @@ func (m *Monitor) Snapshot() Report {
 	defer m.mu.Unlock()
 	r := Report{
 		Name:    m.Name,
+		Daemon:  m.daemon,
+		PID:     m.pid,
+		Node:    m.node,
 		Timings: make(map[string]TimingStat, len(m.timings)),
 		Volumes: make(map[string]int64, len(m.volumes)),
 		Counts:  make(map[string]int64, len(m.counts)),
@@ -413,16 +456,36 @@ func (m *Monitor) Snapshot() Report {
 		r.Gauges[k] = v
 	}
 	r.Spans = m.snapshotSpansLocked()
+	r.SpanCursor = m.spanSeen
 	if dropped := m.spanSeen - int64(len(m.spans)); dropped > 0 {
 		r.SpansDropped = dropped
 	}
 	return r
 }
 
-// Merge combines reports (e.g. gathered from all simulation ranks) into
-// one: timings aggregate bucket-wise, volumes and counters sum, memory
-// peaks take the max-of-peaks and sum-of-current, and spans concatenate
-// in timestamp order.
+// origin renders a report's process identity for Merge attribution.
+func (r Report) origin() string {
+	switch {
+	case r.Daemon != "" && r.Node != "":
+		return fmt.Sprintf("%s@%s/%d", r.Daemon, r.Node, r.PID)
+	case r.Daemon != "":
+		return fmt.Sprintf("%s/%d", r.Daemon, r.PID)
+	case r.Name != "":
+		return r.Name
+	}
+	return ""
+}
+
+// Merge combines reports (e.g. gathered from all simulation ranks, or
+// scraped from every daemon of a fleet) into one: timings aggregate
+// bucket-wise, volumes and counters sum, memory peaks take the
+// max-of-peaks and sum-of-current, and spans concatenate in timestamp
+// order. Each input's process identity (or its own Origins, when the
+// input is itself a merge) is preserved in the output's Origins list,
+// deduplicated in first-seen order, so a merged fleet artifact never
+// loses track of which processes contributed. SpanCursor sums: it stays
+// the total spans ever recorded across the merged processes, though
+// per-process gap accounting must happen before merging.
 func Merge(name string, reports ...Report) Report {
 	out := Report{
 		Name:    name,
@@ -431,7 +494,21 @@ func Merge(name string, reports ...Report) Report {
 		Counts:  make(map[string]int64),
 		Gauges:  make(map[string]int64),
 	}
+	seenOrigin := make(map[string]bool)
+	addOrigin := func(o string) {
+		if o != "" && !seenOrigin[o] {
+			seenOrigin[o] = true
+			out.Origins = append(out.Origins, o)
+		}
+	}
 	for _, r := range reports {
+		if len(r.Origins) > 0 {
+			for _, o := range r.Origins {
+				addOrigin(o)
+			}
+		} else {
+			addOrigin(r.origin())
+		}
 		for k, v := range r.Timings {
 			cur, ok := out.Timings[k]
 			if !ok {
@@ -461,6 +538,7 @@ func Merge(name string, reports ...Report) Report {
 		}
 		out.Spans = append(out.Spans, r.Spans...)
 		out.SpansDropped += r.SpansDropped
+		out.SpanCursor += r.SpanCursor
 	}
 	sort.SliceStable(out.Spans, func(i, j int) bool { return out.Spans[i].Start < out.Spans[j].Start })
 	return out

@@ -23,6 +23,15 @@ import (
 // fresh snapshot; typical sources Merge the live writer- and reader-side
 // monitors. /journal and /critpath respond 404 until SetFlightSource
 // attaches a flight recorder.
+//
+// Concurrency contract: every handler materializes a complete copied
+// snapshot (Snapshot/Dump hold the monitor or journal lock only while
+// copying) and encodes from that copy, so no monitor lock is ever held
+// across JSON encoding or a slow client write — a scraper hammering
+// /spans during a live run stalls neither the data path nor other
+// requests. /spans responses keep the report's SpanCursor and
+// SpansDropped fields, so sweeping scrapers can window the ring without
+// double-counting (see Report.SpanCursor).
 type Server struct {
 	src func() Report
 

@@ -1,0 +1,105 @@
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestServerConcurrentScrape hammers the snapshot endpoints from several
+// HTTP clients while writer goroutines observe timings and record spans
+// as fast as they can. Run under -race (make ci does) this proves the
+// endpoints serve from copied snapshots: no lock is held across JSON
+// encoding, no scrape tears a live map or the span ring, and every
+// response is a complete, decodable report whose span window is
+// consistent with its cursor.
+func TestServerConcurrentScrape(t *testing.T) {
+	m := New("scrape")
+	m.SetIdentity("scrape-daemon", "testnode")
+	srv := NewServer(func() Report { return m.Snapshot() })
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer srv.Close() //nolint:errcheck
+
+	var stop atomic.Bool
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for step := int64(0); !stop.Load(); step++ {
+				sp := m.StartSpan("writer.pack", step, w).SetEpoch(1).SetScope("t/gts")
+				m.Observe("flush", 0.0001)
+				m.AddVolume("data.bytes", 64)
+				m.Set("session.epoch", 1)
+				sp.End()
+			}
+		}()
+	}
+
+	var scrapers sync.WaitGroup
+	errCh := make(chan error, 64)
+	for c := 0; c < 3; c++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for i := 0; i < 50; i++ {
+				for _, ep := range []string{"/spans", "/report", "/metrics", "/trace"} {
+					resp, err := http.Get("http://" + addr + ep)
+					if err != nil {
+						errCh <- fmt.Errorf("GET %s: %w", ep, err)
+						return
+					}
+					body, err := io.ReadAll(resp.Body)
+					resp.Body.Close() //nolint:errcheck
+					if err != nil {
+						errCh <- fmt.Errorf("read %s: %w", ep, err)
+						return
+					}
+					if resp.StatusCode != http.StatusOK {
+						errCh <- fmt.Errorf("%s: status %d", ep, resp.StatusCode)
+						return
+					}
+					if ep != "/spans" && ep != "/report" {
+						continue
+					}
+					var rep Report
+					if err := json.Unmarshal(body, &rep); err != nil {
+						errCh <- fmt.Errorf("decode %s: %w", ep, err)
+						return
+					}
+					if rep.Daemon != "scrape-daemon" || rep.PID == 0 {
+						errCh <- fmt.Errorf("%s: identity missing: daemon=%q pid=%d", ep, rep.Daemon, rep.PID)
+						return
+					}
+					// Window consistency: the buffered spans cover ring
+					// positions [cursor-len, cursor), so cursor must bound
+					// both the window length and the drop count.
+					if int64(len(rep.Spans)) > rep.SpanCursor {
+						errCh <- fmt.Errorf("%s: %d spans > cursor %d", ep, len(rep.Spans), rep.SpanCursor)
+						return
+					}
+					if rep.SpansDropped != 0 && rep.SpansDropped+int64(len(rep.Spans)) != rep.SpanCursor {
+						errCh <- fmt.Errorf("%s: dropped %d + buffered %d != cursor %d",
+							ep, rep.SpansDropped, len(rep.Spans), rep.SpanCursor)
+						return
+					}
+				}
+			}
+		}()
+	}
+	scrapers.Wait()
+	stop.Store(true)
+	writers.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}

@@ -12,12 +12,18 @@ type Span struct {
 	Point  string `json:"point"`
 	// Origin is the recording monitor's name (e.g. "writers"); it becomes
 	// the process lane in the Chrome trace export.
-	Origin string  `json:"origin,omitempty"`
-	Step   int64   `json:"step"`
-	Epoch  uint64  `json:"epoch,omitempty"`
-	Rank   int     `json:"rank"`
-	Start  float64 `json:"start"` // seconds on the monitor's clock
-	Dur    float64 `json:"dur"`   // seconds
+	Origin string `json:"origin,omitempty"`
+	// Scope is the tenant-qualified stream key ("tenant/stream" in the
+	// directory.Qualify grammar) the span belongs to. It is the join key
+	// cross-process stitching uses: a writer-side send span and a
+	// reader-side assemble span scraped from different daemons correlate
+	// by {Scope, Epoch, Step}. Empty on spans outside any stream.
+	Scope string  `json:"scope,omitempty"`
+	Step  int64   `json:"step"`
+	Epoch uint64  `json:"epoch,omitempty"`
+	Rank  int     `json:"rank"`
+	Start float64 `json:"start"` // seconds on the monitor's clock
+	Dur   float64 `json:"dur"`   // seconds
 }
 
 // ActiveSpan is an in-flight span handle returned by StartSpan. It is a
@@ -61,6 +67,14 @@ func (s ActiveSpan) SetParent(id uint64) ActiveSpan {
 // SetEpoch tags the span with the session epoch it ran under (chainable).
 func (s ActiveSpan) SetEpoch(epoch uint64) ActiveSpan {
 	s.sp.Epoch = epoch
+	return s
+}
+
+// SetScope tags the span with its tenant-qualified stream key
+// (chainable). On the no-op handle this is a field write on a value
+// copy — the nil-monitor path stays branch-cheap.
+func (s ActiveSpan) SetScope(scope string) ActiveSpan {
+	s.sp.Scope = scope
 	return s
 }
 

@@ -1,0 +1,132 @@
+package obsplane
+
+import (
+	"sort"
+	"time"
+)
+
+// SLO is a per-tenant step-latency objective evaluated against the
+// stitched step table: over the most recent Window steps of the
+// tenant's streams, the fraction whose end-to-end latency exceeds
+// Target may spend at most Budget; the burn rate is that fraction
+// divided by the budget, so burn >= MaxBurn means the tenant is eating
+// error budget faster than allowed and the breach latch fires.
+type SLO struct {
+	Tenant string `json:"tenant"`
+	// Target is the per-step end-to-end latency objective (the stitched
+	// Start→Finish envelope across processes).
+	Target time.Duration `json:"target"`
+	// Budget is the tolerated violation fraction in (0, 1]
+	// (default 0.1: one step in ten may miss the target).
+	Budget float64 `json:"budget"`
+	// Window is how many recent steps per tenant are evaluated
+	// (default 32).
+	Window int `json:"window"`
+	// MaxBurn is the burn-rate breach threshold (default 1.0: breach
+	// exactly when the violation fraction exceeds the budget).
+	MaxBurn float64 `json:"max_burn"`
+}
+
+func (s SLO) withDefaults() SLO {
+	if s.Budget <= 0 || s.Budget > 1 {
+		s.Budget = 0.1
+	}
+	if s.Window <= 0 {
+		s.Window = 32
+	}
+	if s.MaxBurn <= 0 {
+		s.MaxBurn = 1.0
+	}
+	return s
+}
+
+// SLOStatus is one objective's evaluated state after a sweep.
+type SLOStatus struct {
+	Tenant        string  `json:"tenant"`
+	TargetSeconds float64 `json:"target_seconds"`
+	// Steps and Violations cover the evaluated window; BurnRate is
+	// (Violations/Steps)/Budget, 0 while no steps have been stitched.
+	Steps      int     `json:"steps"`
+	Violations int     `json:"violations"`
+	BurnRate   float64 `json:"burn_rate"`
+	// WorstLatency is the slowest step in the window, in seconds.
+	WorstLatency float64 `json:"worst_latency,omitempty"`
+	// Breached is the current latch state; Episodes counts how many
+	// times the latch has fired (false→true transitions), so a steering
+	// loop reacts once per breach instead of once per sweep.
+	Breached bool `json:"breached"`
+	Episodes int  `json:"episodes"`
+}
+
+// sloState carries one objective's latch across sweeps.
+type sloState struct {
+	cfg      SLO
+	breached bool
+	episodes int
+	last     SLOStatus
+}
+
+// evalSLOsLocked re-evaluates every objective against the stitched step
+// table and returns the statuses whose latch fired this sweep (for
+// OnBreach, called by the sweep outside the lock). Caller holds c.mu.
+func (c *Collector) evalSLOsLocked(steps []StitchedStep) []SLOStatus {
+	var fired []SLOStatus
+	for _, s := range c.slos {
+		status := evalSLO(s.cfg, steps)
+		newlyBreached := status.Breached && !s.breached
+		s.breached = status.Breached
+		if newlyBreached {
+			s.episodes++
+		}
+		status.Episodes = s.episodes
+		s.last = status
+		if newlyBreached {
+			fired = append(fired, status)
+		}
+	}
+	return fired
+}
+
+// evalSLO scores one objective: the tenant's stitched steps, newest
+// Window of them by step number, against the latency target.
+func evalSLO(cfg SLO, steps []StitchedStep) SLOStatus {
+	status := SLOStatus{Tenant: cfg.Tenant, TargetSeconds: cfg.Target.Seconds()}
+	var mine []StitchedStep
+	for _, st := range steps {
+		if st.Tenant == cfg.Tenant {
+			mine = append(mine, st)
+		}
+	}
+	// The stitched table is scope-then-step sorted; re-sort by step so a
+	// tenant with several streams still windows by recency.
+	sort.Slice(mine, func(i, j int) bool { return mine[i].Step < mine[j].Step })
+	if len(mine) > cfg.Window {
+		mine = mine[len(mine)-cfg.Window:]
+	}
+	target := cfg.Target.Seconds()
+	for _, st := range mine {
+		status.Steps++
+		if st.Latency > target {
+			status.Violations++
+		}
+		if st.Latency > status.WorstLatency {
+			status.WorstLatency = st.Latency
+		}
+	}
+	if status.Steps > 0 {
+		status.BurnRate = (float64(status.Violations) / float64(status.Steps)) / cfg.Budget
+	}
+	status.Breached = status.Steps > 0 && status.BurnRate >= cfg.MaxBurn
+	return status
+}
+
+// SLOStatuses reports the most recent evaluation of every objective.
+func (c *Collector) SLOStatuses() []SLOStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]SLOStatus, 0, len(c.slos))
+	for _, s := range c.slos {
+		out = append(out, s.last)
+	}
+	return out
+}

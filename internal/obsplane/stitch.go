@@ -1,0 +1,96 @@
+package obsplane
+
+import (
+	"sort"
+
+	"flexio/internal/directory"
+)
+
+// StitchedStep is one timestep of one tenant-qualified stream,
+// reassembled from spans scraped across the fleet: the writer daemon's
+// flush/pack/send spans and the reader daemon's accept/assemble spans
+// of the same {scope, step} join into a single end-to-end latency
+// envelope, with the contributing daemons attributed by span origin.
+type StitchedStep struct {
+	// Scope is the tenant-qualified stream key (directory.Qualify
+	// grammar); Tenant and Stream are its split halves for rollups.
+	Scope  string `json:"scope"`
+	Tenant string `json:"tenant,omitempty"`
+	Stream string `json:"stream"`
+	Step   int64  `json:"step"`
+	// Epoch is the highest session epoch seen among the step's spans
+	// (a step spanning a reconfiguration reports the post-switch epoch).
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Start is the earliest span start, Finish the latest span end, and
+	// Latency their difference — the cross-process step envelope.
+	Start   float64 `json:"start"`
+	Finish  float64 `json:"finish"`
+	Latency float64 `json:"latency"`
+	Spans   int     `json:"spans"`
+	// Daemons lists the distinct span origins that contributed, sorted;
+	// CrossProcess is len(Daemons) > 1.
+	Daemons      []string `json:"daemons"`
+	CrossProcess bool     `json:"cross_process"`
+}
+
+// stitchLocked joins the per-daemon windowed span stores into the
+// stitched step table, grouped by {Scope, Step} and sorted by scope
+// then step. Un-scoped spans (node housekeeping, transport internals)
+// belong to no stream and are left out. Caller holds c.mu.
+func (c *Collector) stitchLocked() []StitchedStep {
+	type key struct {
+		scope string
+		step  int64
+	}
+	acc := make(map[key]*StitchedStep)
+	daemons := make(map[key]map[string]bool)
+	for _, st := range c.daemons {
+		for i := range st.spans {
+			sp := &st.spans[i]
+			if sp.Scope == "" {
+				continue
+			}
+			k := key{sp.Scope, sp.Step}
+			s := acc[k]
+			if s == nil {
+				tenant, stream := directory.SplitTenant(sp.Scope)
+				s = &StitchedStep{
+					Scope: sp.Scope, Tenant: tenant, Stream: stream,
+					Step: sp.Step, Start: sp.Start, Finish: sp.Start + sp.Dur,
+				}
+				acc[k] = s
+				daemons[k] = make(map[string]bool)
+			}
+			if sp.Start < s.Start {
+				s.Start = sp.Start
+			}
+			if end := sp.Start + sp.Dur; end > s.Finish {
+				s.Finish = end
+			}
+			if sp.Epoch > s.Epoch {
+				s.Epoch = sp.Epoch
+			}
+			s.Spans++
+			if sp.Origin != "" {
+				daemons[k][sp.Origin] = true
+			}
+		}
+	}
+	out := make([]StitchedStep, 0, len(acc))
+	for k, s := range acc {
+		for d := range daemons[k] {
+			s.Daemons = append(s.Daemons, d)
+		}
+		sort.Strings(s.Daemons)
+		s.CrossProcess = len(s.Daemons) > 1
+		s.Latency = s.Finish - s.Start
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Scope != out[j].Scope {
+			return out[i].Scope < out[j].Scope
+		}
+		return out[i].Step < out[j].Step
+	})
+	return out
+}
